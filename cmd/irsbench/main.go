@@ -1,0 +1,76 @@
+// Command irsbench regenerates the experiment tables recorded in
+// EXPERIMENTS.md. Each experiment validates one complexity or correctness
+// claim of the reproduced paper (or a labelled extension).
+//
+// Usage:
+//
+//	irsbench -list
+//	irsbench -experiment E6
+//	irsbench -experiment E1,E4,E10 -quick
+//	irsbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/irsgo/irs/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("experiment", "", "comma-separated experiment ids (e.g. E1,E6)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "smaller datasets and measurement windows")
+		seed    = flag.Uint64("seed", 1, "RNG seed; equal seeds give equal workloads")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []bench.Experiment
+	switch {
+	case *all:
+		todo = bench.All()
+	case *expFlag != "":
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "irsbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Printf("irsbench: %d experiment(s), %s mode, seed %d\n\n", len(todo), mode, *seed)
+	for _, e := range todo {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irsbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, tab := range tables {
+			tab.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,74 @@
+// Package emsim exposes the external-memory simulation used by the
+// reproduction's I/O-model experiments (E12): a block device with transfer
+// counters, an LRU buffer pool, and a disk-layout B+-tree over int64 keys
+// that answers independent range sampling queries in O(log_B n + k)
+// expected I/Os, versus O(|range|/B) for the scan-and-reservoir baseline.
+//
+// The device is an in-memory page array — the I/O model charges block
+// transfers, not wall time, so counting transfers on a simulated device
+// measures exactly what the model predicts (see DESIGN.md, substitutions).
+//
+// Typical use:
+//
+//	dev, _ := emsim.NewDevice(4096)
+//	pool, _ := emsim.NewPool(dev, 256)
+//	tree, _ := emsim.BulkLoad(pool, sortedKeys, 0.8)
+//	dev.ResetStats()
+//	samples, _ := tree.SampleRange(lo, hi, 16, rng)
+//	fmt.Println(dev.Stats().Reads) // I/Os charged to the query
+package emsim
+
+import (
+	"github.com/irsgo/irs/internal/em"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// PageID identifies a device page.
+type PageID = em.PageID
+
+// Device is a simulated block device with transfer counters.
+type Device = em.Device
+
+// DeviceStats reports accumulated transfers.
+type DeviceStats = em.DeviceStats
+
+// Pool is an LRU buffer pool over a Device.
+type Pool = em.Pool
+
+// PoolStats reports buffer pool behaviour.
+type PoolStats = em.PoolStats
+
+// Tree is a disk-resident B+-tree over int64 keys with leaf-run sampling.
+type Tree = em.Tree
+
+// Iterator walks keys in sorted order across the tree's leaf chain.
+type Iterator = em.Iterator
+
+// RNG is the random generator consumed by sampling queries (identical to
+// the root package's irs.RNG).
+type RNG = xrand.RNG
+
+// Errors re-exported from the simulation.
+var (
+	ErrEmptyRange   = em.ErrEmptyRange
+	ErrInvalidCount = em.ErrInvalidCount
+	ErrPageSize     = em.ErrPageSize
+	ErrPoolTooTiny  = em.ErrPoolTooTiny
+)
+
+// NewRNG returns a deterministic RNG (same stream family as irs.NewRNG).
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// NewDevice creates a device with the given page size in bytes (>= 64).
+func NewDevice(pageSize int) (*Device, error) { return em.NewDevice(pageSize) }
+
+// NewPool creates a buffer pool of the given frame capacity (>= 4).
+func NewPool(dev *Device, capacity int) (*Pool, error) { return em.NewPool(dev, capacity) }
+
+// New creates an empty tree backed by pool.
+func New(pool *Pool) (*Tree, error) { return em.New(pool) }
+
+// BulkLoad builds a tree from sorted keys at the given leaf fill fraction.
+func BulkLoad(pool *Pool, keys []int64, fill float64) (*Tree, error) {
+	return em.BulkLoad(pool, keys, fill)
+}

@@ -1,0 +1,96 @@
+package emsim_test
+
+import (
+	"testing"
+
+	"github.com/irsgo/irs/emsim"
+)
+
+// TestPublicSurface exercises the exported façade end to end.
+func TestPublicSurface(t *testing.T) {
+	dev, err := emsim.NewDevice(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := emsim.NewDevice(8); err != emsim.ErrPageSize {
+		t.Fatalf("err = %v", err)
+	}
+	pool, err := emsim.NewPool(dev, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := emsim.NewPool(dev, 1); err != emsim.ErrPoolTooTiny {
+		t.Fatalf("err = %v", err)
+	}
+	keys := make([]int64, 50000)
+	for i := range keys {
+		keys[i] = int64(i) * 3
+	}
+	tree, err := emsim.BulkLoad(pool, keys, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 50000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	rng := emsim.NewRNG(1)
+	out, err := tree.SampleRange(3000, 90000, 25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 25 {
+		t.Fatalf("got %d samples", len(out))
+	}
+	for _, k := range out {
+		if k < 3000 || k > 90000 || k%3 != 0 {
+			t.Fatalf("bad sample %d", k)
+		}
+	}
+	if _, err := tree.SampleRange(1, 2, 1, rng); err != emsim.ErrEmptyRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := tree.SampleRange(0, 10, -1, rng); err != emsim.ErrInvalidCount {
+		t.Fatalf("err = %v", err)
+	}
+	// Empty tree via New, plus insert/delete round trip.
+	dev2, _ := emsim.NewDevice(256)
+	pool2, _ := emsim.NewPool(dev2, 16)
+	t2, err := emsim.New(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if err := t2.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := t2.Delete(500)
+	if err != nil || !ok {
+		t.Fatalf("Delete: %v %v", ok, err)
+	}
+	c, err := t2.Count(0, 999)
+	if err != nil || c != 999 {
+		t.Fatalf("Count = %d, %v", c, err)
+	}
+	// Iterator through the public alias.
+	it := t2.SeekGE(990)
+	n := 0
+	for ; it.Valid(); it.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("iterated %d keys from 990", n)
+	}
+	// I/O accounting is visible through the façade.
+	dev2.ResetStats()
+	pool2.ResetStats()
+	if err := pool2.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.SampleRange(0, 999, 8, rng); err != nil {
+		t.Fatal(err)
+	}
+	if dev2.Stats().Reads == 0 {
+		t.Fatal("cold query charged no reads")
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: the 60-second tour of the irs library — build a static
+// sampler, query it, sample without replacement, then switch to the dynamic
+// structure and keep sampling while the data changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	irs "github.com/irsgo/irs"
+)
+
+func main() {
+	rng := irs.NewRNG(7)
+
+	// --- Static: immutable data ---------------------------------------
+	temps := []float64{18.2, 21.5, 19.9, 25.1, 23.4, 17.8, 22.0, 24.3, 20.6, 26.7}
+	s := irs.NewStatic(temps)
+
+	fmt.Printf("dataset: %d temperature readings\n", s.Len())
+	fmt.Printf("readings in [20°, 25°]: %d\n", s.Count(20, 25))
+
+	samples, err := s.Sample(20, 25, 5, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5 samples (with replacement):    %v\n", samples)
+
+	distinct, err := s.SampleWithoutReplacement(20, 25, 3, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3 samples (without replacement): %v\n", distinct)
+
+	// Repeating a query gives fresh, independent randomness — the defining
+	// IRS property.
+	again, _ := s.Sample(20, 25, 5, rng)
+	fmt.Printf("same query again (independent):  %v\n", again)
+
+	// --- Dynamic: data under churn -------------------------------------
+	d := irs.NewDynamic[float64]()
+	for _, t := range temps {
+		d.Insert(t)
+	}
+	d.Insert(28.9) // a heat spike arrives
+	d.Delete(17.8) // an old reading expires
+
+	fmt.Printf("\ndynamic set: %d readings, %d in [20°, 30°]\n", d.Len(), d.Count(20, 30))
+	samples, err = d.Sample(20, 30, 5, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5 samples after updates: %v\n", samples)
+
+	// Empty ranges are reported, not silently mis-sampled.
+	if _, err := d.Sample(100, 200, 1, rng); err != nil {
+		fmt.Printf("sampling [100°, 200°]: %v\n", err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package alias implements Walker's alias method for sampling from a fixed
+// discrete distribution in worst-case O(1) time per draw after an O(n) build.
+//
+// The alias method is the classical tool the range-sampling literature
+// builds on (Walker 1974, cited as the starting point by Hu–Qiao–Tao):
+// given n non-negative weights it produces a table such that index i is
+// drawn with probability w[i] / Σw. This package provides an immutable
+// Table plus a reusable Builder for the per-query "top level" distributions
+// the weighted samplers construct on the fly without allocating.
+package alias
+
+import (
+	"errors"
+	"math"
+
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// Errors returned by table construction.
+var (
+	ErrEmpty         = errors.New("alias: no weights")
+	ErrInvalidWeight = errors.New("alias: weight is negative, NaN, or infinite")
+	ErrZeroTotal     = errors.New("alias: total weight is zero")
+)
+
+// Table is an immutable alias table. Draws take worst-case O(1) time.
+// A Table is safe for concurrent use by multiple goroutines as long as each
+// uses its own RNG.
+type Table struct {
+	prob  []float64 // acceptance threshold per column, scaled to [0, 1]
+	alias []int32   // fallback index per column
+	total float64   // sum of input weights
+}
+
+// New builds an alias table for the given weights. Weights must be
+// non-negative and finite with a positive sum. The input slice is not
+// retained.
+func New(weights []float64) (*Table, error) {
+	t := &Table{}
+	b := Builder{}
+	if err := b.Build(t, weights); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the number of outcomes.
+func (t *Table) Len() int { return len(t.prob) }
+
+// Total returns the sum of the weights the table was built from.
+func (t *Table) Total() float64 { return t.total }
+
+// Draw returns an index in [0, Len()) with probability proportional to the
+// weight it was built with. Outcomes with zero weight are never returned.
+func (t *Table) Draw(r *xrand.RNG) int {
+	i := int(r.Uint64n(uint64(len(t.prob))))
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// Builder constructs alias tables reusing internal scratch space across
+// builds. It exists because the weighted range samplers build one small
+// table per query; reusing the Builder keeps queries allocation-free after
+// warm-up.
+type Builder struct {
+	small []int32
+	large []int32
+}
+
+// Build fills dst with the alias table for weights, reusing dst's backing
+// arrays when they are large enough. It implements Vose's O(n) algorithm.
+func (b *Builder) Build(dst *Table, weights []float64) error {
+	n := len(weights)
+	if n == 0 {
+		return ErrEmpty
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return ErrInvalidWeight
+		}
+		total += w
+	}
+	if total <= 0 || math.IsInf(total, 0) {
+		if math.IsInf(total, 0) {
+			return ErrInvalidWeight
+		}
+		return ErrZeroTotal
+	}
+
+	dst.total = total
+	if cap(dst.prob) < n {
+		dst.prob = make([]float64, n)
+		dst.alias = make([]int32, n)
+	} else {
+		dst.prob = dst.prob[:n]
+		dst.alias = dst.alias[:n]
+	}
+	if cap(b.small) < n {
+		b.small = make([]int32, 0, n)
+		b.large = make([]int32, 0, n)
+	}
+	small := b.small[:0]
+	large := b.large[:0]
+
+	// Scale weights so the average column holds exactly probability 1.
+	scale := float64(n) / total
+	fallback := int32(0)
+	maxW := weights[0]
+	for i, w := range weights {
+		p := w * scale
+		dst.prob[i] = p
+		dst.alias[i] = int32(i)
+		if w > maxW {
+			maxW = w
+			fallback = int32(i)
+		}
+		if p < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		dst.alias[s] = l
+		// Column s donates its deficit (1 - prob[s]) from column l.
+		dst.prob[l] = (dst.prob[l] + dst.prob[s]) - 1
+		if dst.prob[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Residual columns are full (within floating-point error). A column can
+	// only be left over with probability far below 1 if rounding starved the
+	// large stack while a zero-weight column was still queued; such a column
+	// must never be returned, so point it at the heaviest outcome instead of
+	// rounding it up to 1.
+	for _, i := range large {
+		dst.prob[i] = 1
+	}
+	for _, i := range small {
+		if dst.prob[i] < 0.5 {
+			dst.alias[i] = fallback
+			continue
+		}
+		dst.prob[i] = 1
+	}
+	b.small = small[:0]
+	b.large = large[:0]
+	return nil
+}

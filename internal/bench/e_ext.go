@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/irsgo/irs/internal/core"
+	"github.com/irsgo/irs/internal/em"
+	"github.com/irsgo/irs/internal/weighted"
+	"github.com/irsgo/irs/internal/workload"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+func runE11(cfg Config) ([]*Table, error) {
+	n := cfg.scaled(1<<17, 1<<14)
+	rng := xrand.New(cfg.Seed + 30)
+	keys := workload.Keys(workload.Uniform, n, rng)
+	zw := workload.ZipfWeights(n, 1.1, rng)
+	items := make([]weighted.Item[float64], n)
+	for i := range items {
+		items[i] = weighted.Item[float64]{Key: keys[i], Weight: zw[i]}
+	}
+	seg, err := weighted.NewSegmentAlias(items)
+	if err != nil {
+		return nil, err
+	}
+	bkt, err := weighted.NewBucket(items)
+	if err != nil {
+		return nil, err
+	}
+	fen, err := weighted.NewFenwick(items)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := weighted.NewNaiveCDF(items)
+	if err != nil {
+		return nil, err
+	}
+	ranges := workload.RangesWithSelectivity(keys, 0.1, 64, rng)
+
+	vsT := &Table{
+		Title:   fmt.Sprintf("E11a — Weighted samplers vs t, n=%s, Zipf(1.1) weights, selectivity 10%%", fmtCount(n)),
+		Columns: []string{"t", "segment-alias", "bucket", "fenwick", "naive-cdf"},
+		Notes: []string{"Extension claims: segment-alias and bucket pay O(1) per sample (bucket in",
+			"expectation), fenwick pays O(log n) per sample, naive pays O(log |range|).",
+			"The per-sample gap should widen linearly in t."},
+	}
+	for _, t := range []int{1, 16, 256, 4096} {
+		buf := make([]float64, 0, t)
+		run := func(s weighted.Sampler[float64]) float64 {
+			return queryNS(cfg, ranges, func(r workload.Range) {
+				buf = buf[:0]
+				var err error
+				buf, err = s.SampleAppend(buf, r.Lo, r.Hi, t, rng)
+				if err != nil {
+					panic(err)
+				}
+			})
+		}
+		vsT.AddRow(fmt.Sprintf("%d", t),
+			fmtNS(run(seg)), fmtNS(run(bkt)), fmtNS(run(fen)), fmtNS(run(naive)))
+	}
+
+	vsU := &Table{
+		Title:   fmt.Sprintf("E11b — Bucket sampler vs weight ratio U, n=%s, t=64", fmtCount(n)),
+		Columns: []string{"U (max/min weight)", "weight classes C", "bucket ns/query", "segment-alias ns/query"},
+		Notes: []string{"Extension claim: the bucket sampler's setup grows with C = O(log U) occupied",
+			"classes, while the segment-alias structure is insensitive to U."},
+	}
+	for _, u := range []float64{1, 1e3, 1e6, 1e9, 1e12} {
+		bw := workload.BoundedRatioWeights(n, u, rng)
+		for i := range items {
+			items[i].Weight = bw[i]
+		}
+		b2, err := weighted.NewBucket(items)
+		if err != nil {
+			return nil, err
+		}
+		s2, err := weighted.NewSegmentAlias(items)
+		if err != nil {
+			return nil, err
+		}
+		const t = 64
+		buf := make([]float64, 0, t)
+		bktNS := queryNS(cfg, ranges, func(r workload.Range) {
+			buf = buf[:0]
+			buf, _ = b2.SampleAppend(buf, r.Lo, r.Hi, t, rng)
+		})
+		segNS := queryNS(cfg, ranges, func(r workload.Range) {
+			buf = buf[:0]
+			buf, _ = s2.SampleAppend(buf, r.Lo, r.Hi, t, rng)
+		})
+		vsU.AddRow(fmt.Sprintf("%g", u), fmt.Sprintf("%d", b2.Classes()), fmtNS(bktNS), fmtNS(segNS))
+	}
+	return []*Table{vsT, vsU}, nil
+}
+
+func runE12(cfg Config) ([]*Table, error) {
+	n := cfg.scaled(400_000, 100_000)
+	const k = 16
+	const trials = 12
+	var tables []*Table
+	for _, pageSize := range []int{256, 4096} {
+		dev, err := em.NewDevice(pageSize)
+		if err != nil {
+			return nil, err
+		}
+		pool, err := em.NewPool(dev, 64)
+		if err != nil {
+			return nil, err
+		}
+		rng := xrand.New(cfg.Seed + 31)
+		keys := workload.IntKeys(workload.Uniform, n, rng)
+		tree, err := em.BulkLoad(pool, keys, 0.8)
+		if err != nil {
+			return nil, err
+		}
+		tab := &Table{
+			Title: fmt.Sprintf("E12 — Cold I/O per query, page=%dB (B=%d keys/leaf), n=%s, k=%d",
+				pageSize, tree.LeafCapacity(), fmtCount(n), k),
+			Columns: []string{"selectivity", "|range| pages", "sample reads", "scan reads", "scan/sample"},
+			Notes: []string{"Claim (I/O model): IRS via the leaf run costs O(log_B n + k) reads; scanning",
+				"costs O(|range|/B). The ratio explodes with selectivity."},
+		}
+		for _, sel := range []float64{0.001, 0.01, 0.1, 0.5} {
+			span := int(sel * float64(n))
+			if span < 1 {
+				span = 1
+			}
+			var sampleReads, scanReads int64
+			for trial := 0; trial < trials; trial++ {
+				start := rng.Intn(n - span + 1)
+				lo, hi := keys[start], keys[start+span-1]
+				if err := pool.Drop(); err != nil {
+					return nil, err
+				}
+				dev.ResetStats()
+				if _, err := tree.SampleRange(lo, hi, k, rng); err != nil {
+					return nil, err
+				}
+				sampleReads += dev.Stats().Reads
+				if err := pool.Drop(); err != nil {
+					return nil, err
+				}
+				dev.ResetStats()
+				if _, err := tree.ScanSample(lo, hi, k, rng); err != nil {
+					return nil, err
+				}
+				scanReads += dev.Stats().Reads
+			}
+			pages := span / tree.LeafCapacity()
+			tab.AddRow(fmt.Sprintf("%g", sel), fmtCount(pages),
+				fmt.Sprintf("%.1f", float64(sampleReads)/trials),
+				fmt.Sprintf("%.1f", float64(scanReads)/trials),
+				fmt.Sprintf("%.1fx", float64(scanReads)/float64(max(sampleReads, 1))))
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}
+
+func runE13(cfg Config) ([]*Table, error) {
+	n := cfg.scaled(1_000_000, 100_000)
+	const t = 32
+	rng := xrand.New(cfg.Seed + 32)
+	keys := workload.Keys(workload.Uniform, n, rng)
+	d, err := core.NewDynamicFromSorted(keys)
+	if err != nil {
+		return nil, err
+	}
+	ranges := workload.RangesWithSelectivity(keys, querySel, 64, rng)
+	buf := make([]float64, 0, t)
+	query := func(i int) {
+		r := ranges[i%len(ranges)]
+		buf = buf[:0]
+		buf, _ = d.SampleAppend(buf, r.Lo, r.Hi, t, rng)
+	}
+	update := func(i int) {
+		k := keys[i%len(keys)]
+		if i%2 == 0 {
+			d.Insert(k + 0.25)
+		} else {
+			d.Delete(k + 0.25)
+		}
+	}
+	mix := func(queryPct int) float64 {
+		ns := measure(cfg.minDur(), func(batch int) {
+			for i := 0; i < batch; i++ {
+				if i%100 < queryPct {
+					query(i)
+				} else {
+					update(i)
+				}
+			}
+		})
+		return 1e9 / ns // ops per second
+	}
+	tab := &Table{
+		Title:   fmt.Sprintf("E13 — Mixed workload throughput, n=%s, t=%d, selectivity 1%%", fmtCount(n), t),
+		Columns: []string{"mix (query%/update%)", "ops/sec"},
+		Notes: []string{"Claim: the dynamic structure sustains interleaved updates and sampling",
+			"queries without phase-change cliffs (no global rebuild stalls beyond the",
+			"amortized budget)."},
+	}
+	for _, q := range []int{100, 90, 50, 10, 0} {
+		tab.AddRow(fmt.Sprintf("%d/%d", q, 100-q), fmt.Sprintf("%.0f", mix(q)))
+	}
+	return []*Table{tab}, nil
+}

@@ -1,0 +1,125 @@
+package chunks
+
+import (
+	"testing"
+
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+func TestNewFromSortedWithS(t *testing.T) {
+	keys := seq(50000)
+	for _, s := range []int{4, 16, 64, 256} {
+		l, err := NewFromSortedWithS(keys, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.S() != s {
+			t.Fatalf("S = %d, want %d", l.S(), s)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("s=%d: %v", s, err)
+		}
+		// Pinned s must survive rebuilds triggered by growth.
+		for i := 0; i < 60000; i++ {
+			l.Insert(i)
+		}
+		if l.S() != s {
+			t.Fatalf("S drifted to %d after growth, want pinned %d", l.S(), s)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("s=%d after growth: %v", s, err)
+		}
+	}
+	if _, err := NewFromSortedWithS(keys, 2); err == nil {
+		t.Fatal("s=2 accepted")
+	}
+	if _, err := NewFromSortedWithS([]int{2, 1}, 8); err != ErrUnsorted {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCollectFallbackAblation(t *testing.T) {
+	keys := seq(100000)
+	l, err := NewFromSorted(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetCollectFallback(false)
+	rng := xrand.New(1)
+
+	// A range inside one chunk must still sample correctly (by rejection).
+	lo, hi := 5000, 5000+3
+	run := l.NewRun(lo, hi)
+	if run.Empty() {
+		t.Fatal("run empty")
+	}
+	if run.mode != modeChunks {
+		t.Fatalf("mode = %d, want chunks with fallback disabled", run.mode)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 40000; i++ {
+		counts[run.Sample(rng)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("covered %d values, want 4", len(counts))
+	}
+	for v, c := range counts {
+		if v < lo || v > hi {
+			t.Fatalf("sample %d out of range", v)
+		}
+		if c < 9000 || c > 11000 {
+			t.Fatalf("value %d count %d deviates from 10000", v, c)
+		}
+	}
+	// Probe counts must be visibly higher than with the fallback on.
+	withoutTotal := 0
+	for i := 0; i < 5000; i++ {
+		_, p := run.SampleProbes(rng)
+		withoutTotal += p
+	}
+	l.SetCollectFallback(true)
+	run2 := l.NewRun(lo, hi)
+	if run2.mode != modeCollect {
+		t.Fatalf("mode = %d, want collect with fallback enabled", run2.mode)
+	}
+	withTotal := 0
+	for i := 0; i < 5000; i++ {
+		_, p := run2.SampleProbes(rng)
+		withTotal += p
+	}
+	if withTotal != 5000 {
+		t.Fatalf("collect mode probes = %d, want exactly 1 per sample", withTotal)
+	}
+	if withoutTotal < 3*withTotal {
+		t.Fatalf("rejection-only probes (%d) should far exceed collect probes (%d)", withoutTotal, withTotal)
+	}
+}
+
+func TestPinnedSWithUpdatesModel(t *testing.T) {
+	// The pinned-s variant must stay correct under churn, like the default.
+	l, err := NewFromSortedWithS([]int{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	live := map[int]int{}
+	for op := 0; op < 8000; op++ {
+		k := r.Intn(300)
+		if r.Bernoulli(0.6) {
+			l.Insert(k)
+			live[k]++
+		} else if l.Delete(k) {
+			live[k]--
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, c := range live {
+		want += c
+	}
+	if l.Len() != want {
+		t.Fatalf("Len = %d, want %d", l.Len(), want)
+	}
+}

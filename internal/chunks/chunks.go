@@ -1,0 +1,947 @@
+// Package chunks implements the dynamic substrate of the Hu–Qiao–Tao
+// independent range sampling structure: a two-level chunked sorted list.
+//
+// Keys are kept in sorted order inside chunks (small arrays of capacity 2s,
+// where s = Θ(log n)); consecutive chunks are grouped into groups of at most
+// 2s chunks; a flat directory holds the groups in order. The parameter s is
+// retuned by a global rebuild whenever n doubles or halves, so the structure
+// is always within a constant factor of its intended geometry.
+//
+// The point of the two levels is uniform sampling by rejection: a query
+// range maps to a run of groups; probing a uniformly random (group, chunk
+// slot, element slot) triple and rejecting empty or out-of-range probes
+// yields an exactly uniform in-range element, and the fill invariants below
+// guarantee Ω(1) acceptance probability, so a sample costs O(1) expected
+// time after the O(log n) search that locates the run. This realizes the
+// "linear space, O(log n + k) expected query, O(log n) update" bounds
+// attributed to the PODS 2014 paper.
+//
+// Invariants (with s fixed between rebuilds):
+//
+//   - every chunk holds between s/2 and 2s keys, except that a list with a
+//     single chunk may hold fewer;
+//   - every group holds between s/2 and 2s chunks, except that a list with
+//     a single group may hold fewer;
+//   - keys are globally sorted: every key in chunk i precedes every key in
+//     chunk i+1 of the same group, and every key in group j precedes every
+//     key in group j+1;
+//   - group.count equals the number of keys in the group, and the Fenwick
+//     tree over group counts is consistent with the directory.
+//
+// Updates repair invariant violations locally: a chunk that exceeds 2s keys
+// splits in half; a chunk that drops below s/2 keys merges with a sibling
+// (or the pair redistributes if the merge would overflow); the same rules
+// apply one level up to groups. All repairs are O(s) = O(log n) except
+// directory-level changes, which additionally rebuild the O(n/s²)-entry
+// Fenwick tree — a cost that amortizes to o(1) per update because a group
+// split or merge requires Ω(s²) updates to recur.
+package chunks
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"math/bits"
+	"unsafe"
+
+	"github.com/irsgo/irs/internal/fenwick"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// ErrUnsorted is returned by NewFromSorted when the input is not sorted.
+var ErrUnsorted = errors.New("chunks: input keys are not sorted")
+
+// minS is the smallest chunk parameter ever used; it keeps constant factors
+// sane for tiny lists.
+const minS = 8
+
+type chunk[K cmp.Ordered] struct {
+	keys []K // sorted; capacity 2s+1 so one overflowing insert never reallocates
+}
+
+type group[K cmp.Ordered] struct {
+	chunks []*chunk[K] // in key order
+	count  int         // total keys across chunks
+}
+
+// List is the two-level chunked sorted list. It stores an ordered multiset
+// of keys. The zero value is not usable; call New or NewFromSorted.
+// A List is not safe for concurrent mutation; concurrent readers are safe
+// as long as no writer runs.
+type List[K cmp.Ordered] struct {
+	groups     []*group[K]
+	counts     *fenwick.Counts // per-group key counts, same order as groups
+	n          int
+	s          int
+	nAtRebuild int
+	scratch    []K // reused by chunk redistribution
+
+	// Ablation knobs (see the E14/E15 experiments). Production code leaves
+	// both at their zero values.
+	fixedS    bool // keep s pinned across rebuilds
+	noCollect bool // disable the short-run collect fast path
+}
+
+// New returns an empty list.
+func New[K cmp.Ordered]() *List[K] {
+	l := &List[K]{s: minS}
+	l.rebuildFenwick()
+	return l
+}
+
+// NewFromSorted builds a list from keys, which must be in non-decreasing
+// order. The input slice is not retained. Construction is O(n).
+func NewFromSorted[K cmp.Ordered](keys []K) (*List[K], error) {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return nil, ErrUnsorted
+		}
+	}
+	l := &List[K]{}
+	l.build(keys)
+	return l, nil
+}
+
+// Len returns the number of stored keys.
+func (l *List[K]) Len() int { return l.n }
+
+// S returns the current chunk parameter (exposed for tests and experiments).
+func (l *List[K]) S() int { return l.s }
+
+// chooseS returns the chunk parameter for a list of n keys.
+func chooseS(n int) int {
+	s := bits.Len(uint(n)) // ceil(log2(n+1))
+	if s < minS {
+		s = minS
+	}
+	return s
+}
+
+// NewFromSortedWithS builds a list with the chunk parameter pinned to s
+// instead of the Θ(log n) default; rebuilds keep the pinned value. This is
+// the knob behind the E14 ablation (sensitivity of query and update cost to
+// the chunk size); s must be at least 4.
+func NewFromSortedWithS[K cmp.Ordered](keys []K, s int) (*List[K], error) {
+	if s < 4 {
+		return nil, errors.New("chunks: pinned s must be >= 4")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return nil, ErrUnsorted
+		}
+	}
+	l := &List[K]{fixedS: true, s: s}
+	l.build(keys)
+	return l, nil
+}
+
+// SetCollectFallback enables or disables the short-run collect fast path
+// (enabled by default). With the fallback off, ranges spanning fewer than
+// three chunks are sampled by rejection over the chunk run, whose
+// acceptance rate can drop to Θ(1/s) — the E15 ablation quantifies why the
+// fast path exists. Pending runs are not affected.
+func (l *List[K]) SetCollectFallback(enabled bool) { l.noCollect = !enabled }
+
+// build (re)constructs the whole structure from sorted keys.
+func (l *List[K]) build(keys []K) {
+	n := len(keys)
+	l.n = n
+	l.nAtRebuild = n
+	if !l.fixedS {
+		l.s = chooseS(n)
+	}
+	l.groups = l.groups[:0]
+	if n == 0 {
+		l.rebuildFenwick()
+		return
+	}
+	fill := l.s + l.s/2 // target chunk fill 1.5s
+	numChunks := (n + fill - 1) / fill
+	if numChunks == 0 {
+		numChunks = 1
+	}
+	// Distribute keys evenly so every chunk gets floor or ceil of n/numChunks,
+	// which is >= s/2 whenever numChunks > 1 because fill > s.
+	chunksBuilt := make([]*chunk[K], 0, numChunks)
+	base, extra := n/numChunks, n%numChunks
+	idx := 0
+	for i := 0; i < numChunks; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		c := &chunk[K]{keys: make([]K, sz, 2*l.s+1)}
+		copy(c.keys, keys[idx:idx+sz])
+		idx += sz
+		chunksBuilt = append(chunksBuilt, c)
+	}
+	// Group the chunks with the same even distribution.
+	gFill := l.s + l.s/2
+	numGroups := (numChunks + gFill - 1) / gFill
+	if numGroups == 0 {
+		numGroups = 1
+	}
+	base, extra = numChunks/numGroups, numChunks%numGroups
+	idx = 0
+	for i := 0; i < numGroups; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		g := &group[K]{chunks: make([]*chunk[K], sz, 2*l.s+1)}
+		copy(g.chunks, chunksBuilt[idx:idx+sz])
+		idx += sz
+		for _, c := range g.chunks {
+			g.count += len(c.keys)
+		}
+		l.groups = append(l.groups, g)
+	}
+	l.rebuildFenwick()
+}
+
+// rebuildFenwick refreshes the per-group count index. Called whenever the
+// group directory changes shape.
+func (l *List[K]) rebuildFenwick() {
+	counts := make([]int, len(l.groups))
+	for i, g := range l.groups {
+		counts[i] = g.count
+	}
+	l.counts = fenwick.NewCountsFrom(counts)
+}
+
+// maybeRebuild retunes s and re-packs everything once n has drifted a
+// factor of two from the last rebuild. Amortized O(1) per update.
+func (l *List[K]) maybeRebuild() {
+	if l.n <= 32 {
+		return
+	}
+	if l.n > 2*l.nAtRebuild || 2*l.n < l.nAtRebuild {
+		keys := l.AppendKeys(make([]K, 0, l.n))
+		l.build(keys)
+	}
+}
+
+// pos addresses one key: groups[g].chunks[c].keys[e].
+type pos struct{ g, c, e int }
+
+// lastKey returns the largest key in the group.
+func (g *group[K]) lastKey() K {
+	c := g.chunks[len(g.chunks)-1]
+	return c.keys[len(c.keys)-1]
+}
+
+// firstGE returns the position of the first key >= bound, or ok=false if
+// every key is smaller. O(log n): binary search over groups, then chunks,
+// then keys.
+func (l *List[K]) firstGE(bound K) (pos, bool) { return l.search(bound, false) }
+
+// firstGT returns the position of the first key > bound, or ok=false.
+func (l *List[K]) firstGT(bound K) (pos, bool) { return l.search(bound, true) }
+
+// search finds the first key >= bound (strict=false) or > bound
+// (strict=true).
+func (l *List[K]) search(bound K, strict bool) (pos, bool) {
+	if l.n == 0 {
+		return pos{}, false
+	}
+	// After returns true when k is on the "found" side of the boundary.
+	after := func(k K) bool {
+		if strict {
+			return k > bound
+		}
+		return k >= bound
+	}
+	// First group whose last key is on the found side.
+	lo, hi := 0, len(l.groups)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if after(l.groups[mid].lastKey()) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(l.groups) {
+		return pos{}, false
+	}
+	g := lo
+	grp := l.groups[g]
+	// First chunk whose last key is on the found side.
+	lo, hi = 0, len(grp.chunks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ck := grp.chunks[mid].keys
+		if after(ck[len(ck)-1]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	c := lo
+	ch := grp.chunks[c]
+	// First key on the found side.
+	lo, hi = 0, len(ch.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if after(ch.keys[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return pos{g, c, lo}, true
+}
+
+// indexOf returns the number of keys strictly before p. O(s + log n).
+func (l *List[K]) indexOf(p pos) int {
+	idx := l.counts.PrefixSum(p.g)
+	grp := l.groups[p.g]
+	for i := 0; i < p.c; i++ {
+		idx += len(grp.chunks[i].keys)
+	}
+	return idx + p.e
+}
+
+// Count returns |{k in list : lo <= k <= hi}| in O(log n).
+func (l *List[K]) Count(lo, hi K) int {
+	if hi < lo || l.n == 0 {
+		return 0
+	}
+	a, okA := l.firstGE(lo)
+	if !okA {
+		return 0
+	}
+	b, okB := l.firstGT(hi)
+	end := l.n
+	if okB {
+		end = l.indexOf(b)
+	}
+	start := l.indexOf(a)
+	if end < start {
+		return 0
+	}
+	return end - start
+}
+
+// RankLower returns the number of keys strictly less than key. O(log n).
+func (l *List[K]) RankLower(key K) int {
+	p, ok := l.firstGE(key)
+	if !ok {
+		return l.n
+	}
+	return l.indexOf(p)
+}
+
+// RankUpper returns the number of keys less than or equal to key. O(log n).
+func (l *List[K]) RankUpper(key K) int {
+	p, ok := l.firstGT(key)
+	if !ok {
+		return l.n
+	}
+	return l.indexOf(p)
+}
+
+// SelectRank returns the key of rank i (0-based, sorted order). It panics
+// if i is out of range. O(log n): Fenwick descent to the group, then a
+// linear walk over at most 2s chunks.
+func (l *List[K]) SelectRank(i int) K {
+	if i < 0 || i >= l.n {
+		panic("chunks: SelectRank index out of range")
+	}
+	g := l.counts.Select(i)
+	i -= l.counts.PrefixSum(g)
+	grp := l.groups[g]
+	for _, c := range grp.chunks {
+		if i < len(c.keys) {
+			return c.keys[i]
+		}
+		i -= len(c.keys)
+	}
+	panic("chunks: group count inconsistent with chunks")
+}
+
+// Contains reports whether key occurs at least once.
+func (l *List[K]) Contains(key K) bool {
+	p, ok := l.firstGE(key)
+	if !ok {
+		return false
+	}
+	return l.groups[p.g].chunks[p.c].keys[p.e] == key
+}
+
+// Insert adds key to the multiset in O(log n) amortized time.
+func (l *List[K]) Insert(key K) {
+	if l.n == 0 {
+		c := &chunk[K]{keys: make([]K, 1, 2*l.s+1)}
+		c.keys[0] = key
+		g := &group[K]{chunks: make([]*chunk[K], 1, 2*l.s+1), count: 1}
+		g.chunks[0] = c
+		l.groups = append(l.groups[:0], g)
+		l.n = 1
+		l.rebuildFenwick()
+		return
+	}
+	// Insert after any equal keys.
+	p, ok := l.firstGT(key)
+	if !ok {
+		// Larger than everything: append to the last chunk.
+		g := len(l.groups) - 1
+		grp := l.groups[g]
+		c := len(grp.chunks) - 1
+		p = pos{g, c, len(grp.chunks[c].keys)}
+	}
+	grp := l.groups[p.g]
+	ch := grp.chunks[p.c]
+	ch.keys = append(ch.keys, key) // value placeholder; order fixed below
+	copy(ch.keys[p.e+1:], ch.keys[p.e:])
+	ch.keys[p.e] = key
+	grp.count++
+	l.n++
+
+	structural := false
+	if len(ch.keys) > 2*l.s {
+		l.splitChunk(p.g, p.c)
+		if len(grp.chunks) > 2*l.s {
+			l.splitGroup(p.g)
+			structural = true
+		}
+	}
+	if structural {
+		l.rebuildFenwick()
+	} else {
+		l.counts.Add(p.g, 1)
+	}
+	l.maybeRebuild()
+}
+
+// splitChunk splits chunk c of group g into two halves.
+func (l *List[K]) splitChunk(g, c int) {
+	grp := l.groups[g]
+	ch := grp.chunks[c]
+	mid := len(ch.keys) / 2
+	right := &chunk[K]{keys: make([]K, len(ch.keys)-mid, 2*l.s+1)}
+	copy(right.keys, ch.keys[mid:])
+	ch.keys = ch.keys[:mid]
+	grp.chunks = append(grp.chunks, nil)
+	copy(grp.chunks[c+2:], grp.chunks[c+1:])
+	grp.chunks[c+1] = right
+}
+
+// splitGroup splits group g into two halves and rebuilds the directory
+// index. The caller must refresh the Fenwick tree.
+func (l *List[K]) splitGroup(g int) {
+	grp := l.groups[g]
+	mid := len(grp.chunks) / 2
+	right := &group[K]{chunks: make([]*chunk[K], len(grp.chunks)-mid, 2*l.s+1)}
+	copy(right.chunks, grp.chunks[mid:])
+	grp.chunks = grp.chunks[:mid]
+	for _, c := range right.chunks {
+		right.count += len(c.keys)
+	}
+	grp.count -= right.count
+	l.groups = append(l.groups, nil)
+	copy(l.groups[g+2:], l.groups[g+1:])
+	l.groups[g+1] = right
+}
+
+// Delete removes one occurrence of key, reporting whether one was present.
+// O(log n) amortized.
+func (l *List[K]) Delete(key K) bool {
+	p, ok := l.firstGE(key)
+	if !ok {
+		return false
+	}
+	grp := l.groups[p.g]
+	ch := grp.chunks[p.c]
+	if ch.keys[p.e] != key {
+		return false
+	}
+	copy(ch.keys[p.e:], ch.keys[p.e+1:])
+	ch.keys = ch.keys[:len(ch.keys)-1]
+	grp.count--
+	l.n--
+
+	structural := false
+	if len(ch.keys) < l.s/2 {
+		structural = l.fixChunkUnderflow(p.g, p.c)
+	}
+	if structural {
+		l.rebuildFenwick()
+	} else {
+		l.counts.Add(p.g, -1)
+	}
+	if l.n == 0 {
+		l.groups = l.groups[:0]
+		l.rebuildFenwick()
+		return true
+	}
+	l.maybeRebuild()
+	return true
+}
+
+// fixChunkUnderflow repairs chunk c of group g after it dropped below s/2
+// keys. It reports whether the group directory changed shape (requiring a
+// Fenwick rebuild).
+func (l *List[K]) fixChunkUnderflow(g, c int) bool {
+	grp := l.groups[g]
+	if len(grp.chunks) == 1 {
+		// Single chunk in its group. If this is the only group the small
+		// size is allowed; otherwise group invariants (>= s/2 >= 4 chunks)
+		// make this unreachable.
+		return false
+	}
+	// Merge or redistribute with an adjacent sibling.
+	left := c
+	if left == len(grp.chunks)-1 {
+		left = c - 1
+	}
+	a, b := grp.chunks[left], grp.chunks[left+1]
+	combined := len(a.keys) + len(b.keys)
+	if combined <= 2*l.s {
+		// Merge b into a, drop b.
+		a.keys = append(a.keys, b.keys...)
+		copy(grp.chunks[left+1:], grp.chunks[left+2:])
+		grp.chunks = grp.chunks[:len(grp.chunks)-1]
+		if len(grp.chunks) < l.s/2 {
+			return l.fixGroupUnderflow(g)
+		}
+		return false
+	}
+	// Redistribute evenly: both halves land in [s, 1.25s], far from bounds.
+	l.scratch = append(l.scratch[:0], a.keys...)
+	l.scratch = append(l.scratch, b.keys...)
+	mid := combined / 2
+	a.keys = append(a.keys[:0], l.scratch[:mid]...)
+	b.keys = append(b.keys[:0], l.scratch[mid:]...)
+	return false
+}
+
+// fixGroupUnderflow repairs group g after its chunk count dropped below
+// s/2. Returns true: every path changes the directory or group contents in
+// a way that needs a Fenwick refresh.
+func (l *List[K]) fixGroupUnderflow(g int) bool {
+	if len(l.groups) == 1 {
+		return true // single group may be small; counts still moved
+	}
+	left := g
+	if left == len(l.groups)-1 {
+		left = g - 1
+	}
+	a, b := l.groups[left], l.groups[left+1]
+	combined := len(a.chunks) + len(b.chunks)
+	if combined <= 2*l.s {
+		a.chunks = append(a.chunks, b.chunks...)
+		a.count += b.count
+		copy(l.groups[left+1:], l.groups[left+2:])
+		l.groups = l.groups[:len(l.groups)-1]
+		return true
+	}
+	// Redistribute chunks evenly.
+	mid := combined / 2
+	if len(a.chunks) > mid {
+		// Move the tail of a to the front of b.
+		moved := a.chunks[mid:]
+		b.chunks = append(append(make([]*chunk[K], 0, 2*l.s+1), moved...), b.chunks...)
+		a.chunks = a.chunks[:mid]
+	} else {
+		// Move the front of b to the tail of a.
+		take := mid - len(a.chunks)
+		a.chunks = append(a.chunks, b.chunks[:take]...)
+		b.chunks = append(b.chunks[:0], b.chunks[take:]...)
+	}
+	a.count = 0
+	for _, c := range a.chunks {
+		a.count += len(c.keys)
+	}
+	b.count = 0
+	for _, c := range b.chunks {
+		b.count += len(c.keys)
+	}
+	return true
+}
+
+// AppendRange appends every key in [lo, hi], in sorted order, to dst and
+// returns it. O(log n + output).
+func (l *List[K]) AppendRange(dst []K, lo, hi K) []K {
+	if l.n == 0 || hi < lo {
+		return dst
+	}
+	p, ok := l.firstGE(lo)
+	if !ok {
+		return dst
+	}
+	for g := p.g; g < len(l.groups); g++ {
+		grp := l.groups[g]
+		c0 := 0
+		if g == p.g {
+			c0 = p.c
+		}
+		for c := c0; c < len(grp.chunks); c++ {
+			ch := grp.chunks[c]
+			e0 := 0
+			if g == p.g && c == p.c {
+				e0 = p.e
+			}
+			for _, k := range ch.keys[e0:] {
+				if k > hi {
+					return dst
+				}
+				dst = append(dst, k)
+			}
+		}
+	}
+	return dst
+}
+
+// AppendKeys appends every key in sorted order to dst and returns it.
+func (l *List[K]) AppendKeys(dst []K) []K {
+	for _, g := range l.groups {
+		for _, c := range g.chunks {
+			dst = append(dst, c.keys...)
+		}
+	}
+	return dst
+}
+
+// Stats describes the current geometry, for tests and the space experiment.
+type Stats struct {
+	N      int
+	S      int
+	Groups int
+	Chunks int
+}
+
+// GeometryStats returns the current geometry.
+func (l *List[K]) GeometryStats() Stats {
+	st := Stats{N: l.n, S: l.s, Groups: len(l.groups)}
+	for _, g := range l.groups {
+		st.Chunks += len(g.chunks)
+	}
+	return st
+}
+
+// Footprint estimates the resident size of the structure in bytes,
+// accounting for slice capacities, headers, and the Fenwick index.
+func (l *List[K]) Footprint() int64 {
+	var k K
+	keySize := int64(unsafe.Sizeof(k))
+	const ptrSize = int64(unsafe.Sizeof(uintptr(0)))
+	const sliceHeader = 3 * 8
+	total := int64(unsafe.Sizeof(*l))
+	total += int64(cap(l.groups)) * ptrSize
+	for _, g := range l.groups {
+		total += int64(unsafe.Sizeof(*g)) + int64(cap(g.chunks))*ptrSize
+		for _, c := range g.chunks {
+			total += sliceHeader + int64(cap(c.keys))*keySize
+		}
+	}
+	total += int64(l.counts.Len()+1) * 8 // Fenwick tree array
+	total += int64(cap(l.scratch)) * keySize
+	return total
+}
+
+// Validate checks every structural invariant. Intended for tests; it is
+// O(n).
+func (l *List[K]) Validate() error {
+	if l.n == 0 {
+		if len(l.groups) != 0 {
+			return errors.New("chunks: empty list with groups")
+		}
+		return nil
+	}
+	total := 0
+	var prev K
+	havePrev := false
+	singleGroup := len(l.groups) == 1
+	for gi, g := range l.groups {
+		if len(g.chunks) == 0 {
+			return fmt.Errorf("chunks: group %d empty", gi)
+		}
+		if !singleGroup && (len(g.chunks) < l.s/2 || len(g.chunks) > 2*l.s) {
+			return fmt.Errorf("chunks: group %d has %d chunks, want [%d,%d]", gi, len(g.chunks), l.s/2, 2*l.s)
+		}
+		singleChunk := singleGroup && len(g.chunks) == 1
+		gcount := 0
+		for ci, c := range g.chunks {
+			if len(c.keys) == 0 {
+				return fmt.Errorf("chunks: group %d chunk %d empty", gi, ci)
+			}
+			if !singleChunk && (len(c.keys) < l.s/2 || len(c.keys) > 2*l.s) {
+				return fmt.Errorf("chunks: group %d chunk %d has %d keys, want [%d,%d]", gi, ci, len(c.keys), l.s/2, 2*l.s)
+			}
+			for _, k := range c.keys {
+				if havePrev && prev > k {
+					return fmt.Errorf("chunks: order violation at group %d chunk %d", gi, ci)
+				}
+				prev, havePrev = k, true
+			}
+			gcount += len(c.keys)
+		}
+		if gcount != g.count {
+			return fmt.Errorf("chunks: group %d count %d, actual %d", gi, g.count, gcount)
+		}
+		if got := l.counts.RangeSum(gi, gi+1); got != gcount {
+			return fmt.Errorf("chunks: fenwick slot %d = %d, actual %d", gi, got, gcount)
+		}
+		total += gcount
+	}
+	if total != l.n {
+		return fmt.Errorf("chunks: n = %d, actual %d", l.n, total)
+	}
+	return nil
+}
+
+// Run is a prepared sampling context for one query range. It is valid only
+// until the next modification of the list; using it afterwards may return
+// samples from a stale or inconsistent view.
+type Run[K cmp.Ordered] struct {
+	list   *List[K]
+	lo, hi K
+	mode   runMode
+	// groups mode: sample uniformly over groups[gLo..gHi].
+	gLo, gHi int
+	// chunks mode: chunk run of length nChunks starting at chunk cLo of
+	// group gLo and (if it spills over) continuing at chunk 0 of group gHi.
+	cLo, nLeft, nChunks int
+	// collect mode: the in-range keys, materialized.
+	scratch []K
+}
+
+type runMode uint8
+
+const (
+	modeEmpty runMode = iota
+	modeGroups
+	modeChunks
+	modeCollect
+)
+
+// NewRun prepares a sampling context for the inclusive range [lo, hi].
+// O(log n). Empty() reports whether the range holds no keys.
+func (l *List[K]) NewRun(lo, hi K) *Run[K] {
+	r := &Run[K]{list: l, lo: lo, hi: hi, mode: modeEmpty}
+	l.InitRun(r, lo, hi)
+	return r
+}
+
+// InitRun is like NewRun but reuses r's storage (queries in a steady state
+// allocate nothing).
+func (l *List[K]) InitRun(r *Run[K], lo, hi K) {
+	r.list = l
+	r.lo, r.hi = lo, hi
+	r.mode = modeEmpty
+	r.scratch = r.scratch[:0]
+	if l.n == 0 || hi < lo {
+		return
+	}
+	a, okA := l.firstGE(lo)
+	if !okA {
+		return
+	}
+	if k := l.groups[a.g].chunks[a.c].keys[a.e]; k > hi {
+		return
+	}
+	b, okB := l.lastLE(hi)
+	if !okB {
+		return
+	}
+	// Every in-range key lives in groups a.g..b.g.
+	if b.g-a.g >= 2 {
+		r.mode = modeGroups
+		r.gLo, r.gHi = a.g, b.g
+		return
+	}
+	// Chunk run between (a.g, a.c) and (b.g, b.c).
+	if a.g == b.g {
+		r.nLeft = b.c - a.c + 1
+		r.nChunks = r.nLeft
+	} else {
+		r.nLeft = len(l.groups[a.g].chunks) - a.c
+		r.nChunks = r.nLeft + b.c + 1
+	}
+	r.gLo, r.gHi, r.cLo = a.g, b.g, a.c
+	if r.nChunks >= 3 || l.noCollect {
+		r.mode = modeChunks
+		return
+	}
+	// At most two chunks contain the range: materialize it.
+	r.mode = modeCollect
+	for j := 0; j < r.nChunks; j++ {
+		ch := r.chunkAt(j)
+		for _, k := range ch.keys {
+			if k >= lo && k <= hi {
+				r.scratch = append(r.scratch, k)
+			}
+		}
+	}
+	if len(r.scratch) == 0 {
+		r.mode = modeEmpty
+	}
+}
+
+// lastLE returns the position of the last key <= bound.
+func (l *List[K]) lastLE(bound K) (pos, bool) {
+	p, ok := l.firstGT(bound)
+	if !ok {
+		// Everything is <= bound: last element.
+		g := len(l.groups) - 1
+		grp := l.groups[g]
+		c := len(grp.chunks) - 1
+		return pos{g, c, len(grp.chunks[c].keys) - 1}, true
+	}
+	return l.prevPos(p)
+}
+
+// prevPos returns the position immediately before p, or ok=false if p is
+// the first position.
+func (l *List[K]) prevPos(p pos) (pos, bool) {
+	if p.e > 0 {
+		return pos{p.g, p.c, p.e - 1}, true
+	}
+	if p.c > 0 {
+		ch := l.groups[p.g].chunks[p.c-1]
+		return pos{p.g, p.c - 1, len(ch.keys) - 1}, true
+	}
+	if p.g > 0 {
+		grp := l.groups[p.g-1]
+		c := len(grp.chunks) - 1
+		return pos{p.g - 1, c, len(grp.chunks[c].keys) - 1}, true
+	}
+	return pos{}, false
+}
+
+// chunkAt returns the j-th chunk of the run (chunk mode addressing).
+func (r *Run[K]) chunkAt(j int) *chunk[K] {
+	if j < r.nLeft {
+		return r.list.groups[r.gLo].chunks[r.cLo+j]
+	}
+	return r.list.groups[r.gHi].chunks[j-r.nLeft]
+}
+
+// Empty reports whether the range holds no keys.
+func (r *Run[K]) Empty() bool { return r.mode == modeEmpty }
+
+// Sample returns one key uniform over the range. It panics if the run is
+// empty. Expected O(1) time; see SampleProbes for the probe distribution.
+func (r *Run[K]) Sample(rng *xrand.RNG) K {
+	k, _ := r.SampleProbes(rng)
+	return k
+}
+
+// SamplePos returns one uniform key together with an opaque identifier of
+// the *position* (occurrence) sampled, distinct across all positions in the
+// run. Sampling without replacement uses it to reject repeat positions
+// exactly even when key values repeat. The identifier is only meaningful
+// for the lifetime of the run.
+func (r *Run[K]) SamplePos(rng *xrand.RNG) (K, uint64) {
+	l := r.list
+	cap2s := uint64(2 * l.s)
+	switch r.mode {
+	case modeCollect:
+		i := rng.Uint64n(uint64(len(r.scratch)))
+		return r.scratch[i], i
+	case modeChunks:
+		span := uint64(r.nChunks)
+		for {
+			j := rng.Uint64n(span)
+			ch := r.chunkAt(int(j))
+			e := rng.Uint64n(cap2s)
+			if e >= uint64(len(ch.keys)) {
+				continue
+			}
+			k := ch.keys[e]
+			if k < r.lo || k > r.hi {
+				continue
+			}
+			return k, j*cap2s + e
+		}
+	case modeGroups:
+		span := uint64(r.gHi - r.gLo + 1)
+		for {
+			gi := rng.Uint64n(span)
+			g := l.groups[r.gLo+int(gi)]
+			ci := rng.Uint64n(cap2s)
+			if ci >= uint64(len(g.chunks)) {
+				continue
+			}
+			ch := g.chunks[ci]
+			e := rng.Uint64n(cap2s)
+			if e >= uint64(len(ch.keys)) {
+				continue
+			}
+			k := ch.keys[e]
+			if k < r.lo || k > r.hi {
+				continue
+			}
+			return k, (gi*cap2s+ci)*cap2s + e
+		}
+	default:
+		panic("chunks: SamplePos on empty run")
+	}
+}
+
+// SampleProbes returns one uniform key and the number of rejection probes
+// it took (>= 1). The probe count is the quantity experiment E10 studies:
+// its expectation is O(1) but its tail is geometric, which is exactly the
+// expected-versus-worst-case gap the follow-up literature formalizes.
+func (r *Run[K]) SampleProbes(rng *xrand.RNG) (K, int) {
+	l := r.list
+	cap2s := uint64(2 * l.s)
+	switch r.mode {
+	case modeCollect:
+		return r.scratch[rng.Uint64n(uint64(len(r.scratch)))], 1
+	case modeChunks:
+		span := uint64(r.nChunks)
+		for probes := 1; ; probes++ {
+			ch := r.chunkAt(int(rng.Uint64n(span)))
+			e := int(rng.Uint64n(cap2s))
+			if e >= len(ch.keys) {
+				continue
+			}
+			k := ch.keys[e]
+			if k < r.lo || k > r.hi {
+				continue
+			}
+			return k, probes
+		}
+	case modeGroups:
+		span := uint64(r.gHi - r.gLo + 1)
+		for probes := 1; ; probes++ {
+			g := l.groups[r.gLo+int(rng.Uint64n(span))]
+			ci := int(rng.Uint64n(cap2s))
+			if ci >= len(g.chunks) {
+				continue
+			}
+			ch := g.chunks[ci]
+			e := int(rng.Uint64n(cap2s))
+			if e >= len(ch.keys) {
+				continue
+			}
+			k := ch.keys[e]
+			if k < r.lo || k > r.hi {
+				continue
+			}
+			return k, probes
+		}
+	default:
+		panic("chunks: Sample on empty run")
+	}
+}
+
+// SampleAppend draws t independent uniform samples from [lo, hi], appending
+// to dst. It reports ok=false (and appends nothing) if the range is empty
+// and t > 0. Total cost O(log n + t) expected.
+func (l *List[K]) SampleAppend(dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, bool) {
+	if t <= 0 {
+		return dst, true
+	}
+	var r Run[K]
+	l.InitRun(&r, lo, hi)
+	if r.Empty() {
+		return dst, false
+	}
+	for i := 0; i < t; i++ {
+		dst = append(dst, r.Sample(rng))
+	}
+	return dst, true
+}

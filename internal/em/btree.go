@@ -1,0 +1,496 @@
+package em
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Tree is a disk-resident B+-tree over int64 keys (a multiset: duplicates
+// allowed), accessed through a buffer pool so every page touch is charged
+// to the I/O counters.
+//
+// Page layouts (little-endian):
+//
+//	leaf:     [0]=1  [2:4]=count  [4:8]=next leaf id   [8+8i : 8+8i+8]=key i
+//	internal: [0]=2  [2:4]=count  [4:8]=child 0        entry i: key at 8+12i,
+//	          child i+1 at 16+12i
+//
+// The tree also keeps an in-memory *leaf directory* — the ordered list of
+// leaf page ids. This is O(n/B) words of metadata (it fits in memory by the
+// standard I/O-model assumption M > n/B) and is what gives the IRS query
+// O(1)-I/O access to a uniformly random leaf of the range. Directory
+// maintenance happens on splits and is not charged I/O, exactly like the
+// in-memory fanout directories of the literature.
+//
+// Deletion removes keys but never merges leaves (a documented
+// simplification: queries remain exactly correct because sampling rejects
+// empty slots; only the acceptance rate degrades with fill, which the tests
+// exercise).
+type Tree struct {
+	pool    *Pool
+	root    PageID
+	height  int // 1 = root is a leaf
+	leafCap int
+	intCap  int
+	leaves  []PageID
+	leafPos map[PageID]int
+	n       int
+
+	scratchK []int64
+	scratchC []PageID
+}
+
+const (
+	pageLeaf     = 1
+	pageInternal = 2
+	leafHdr      = 8
+	intHdr       = 8
+)
+
+// Errors specific to the tree.
+var (
+	ErrCorrupt = errors.New("em: corrupt page")
+	ErrTooFew  = errors.New("em: page size too small for B+-tree nodes")
+)
+
+// New creates an empty tree backed by pool.
+func New(pool *Pool) (*Tree, error) {
+	t, err := newShell(pool)
+	if err != nil {
+		return nil, err
+	}
+	rootID, page, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	initLeaf(page)
+	t.root = rootID
+	t.height = 1
+	t.leaves = []PageID{rootID}
+	t.leafPos[rootID] = 0
+	return t, nil
+}
+
+func newShell(pool *Pool) (*Tree, error) {
+	ps := pool.Device().PageSize()
+	t := &Tree{
+		pool:    pool,
+		leafCap: (ps - leafHdr) / 8,
+		intCap:  (ps - intHdr) / 12,
+		leafPos: map[PageID]int{},
+	}
+	if t.leafCap < 2 || t.intCap < 2 {
+		return nil, ErrTooFew
+	}
+	return t, nil
+}
+
+// BulkLoad builds a tree from sorted keys with the given leaf fill fraction
+// (clamped to [0.3, 1]). O(n/B) write I/Os.
+func BulkLoad(pool *Pool, keys []int64, fill float64) (*Tree, error) {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return nil, errors.New("em: bulk load keys not sorted")
+		}
+	}
+	if len(keys) == 0 {
+		return New(pool)
+	}
+	t, err := newShell(pool)
+	if err != nil {
+		return nil, err
+	}
+	if fill < 0.3 {
+		fill = 0.3
+	}
+	if fill > 1 {
+		fill = 1
+	}
+	t.n = len(keys)
+
+	// Leaf level, evenly distributed around the target fill.
+	perLeaf := max(1, int(float64(t.leafCap)*fill))
+	numLeaves := (len(keys) + perLeaf - 1) / perLeaf
+	base, extra := len(keys)/numLeaves, len(keys)%numLeaves
+	firstKeys := make([]int64, 0, numLeaves)
+	ids := make([]PageID, 0, numLeaves)
+	idx := 0
+	for i := 0; i < numLeaves; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		id, page, err := pool.NewPage()
+		if err != nil {
+			return nil, err
+		}
+		initLeaf(page)
+		for j := 0; j < sz; j++ {
+			setLeafKey(page, j, keys[idx+j])
+		}
+		setCount(page, sz)
+		idx += sz
+		firstKeys = append(firstKeys, keys[idx-sz])
+		ids = append(ids, id)
+	}
+	// Chain the leaves.
+	for i := 0; i < len(ids); i++ {
+		page, err := pool.Get(ids[i])
+		if err != nil {
+			return nil, err
+		}
+		next := InvalidPage
+		if i+1 < len(ids) {
+			next = ids[i+1]
+		}
+		setLeafNext(page, next)
+		pool.MarkDirty(ids[i])
+	}
+	t.leaves = append([]PageID(nil), ids...)
+	for i, id := range ids {
+		t.leafPos[id] = i
+	}
+
+	// Internal levels.
+	t.height = 1
+	childIDs := ids
+	childFirst := firstKeys
+	perNode := max(2, int(float64(t.intCap+1)*fill)) // children per node
+	for len(childIDs) > 1 {
+		t.height++
+		numNodes := (len(childIDs) + perNode - 1) / perNode
+		nb, ne := len(childIDs)/numNodes, len(childIDs)%numNodes
+		var upIDs []PageID
+		var upFirst []int64
+		pos := 0
+		for i := 0; i < numNodes; i++ {
+			sz := nb
+			if i < ne {
+				sz++
+			}
+			id, page, err := pool.NewPage()
+			if err != nil {
+				return nil, err
+			}
+			initInternal(page)
+			setIntChild(page, 0, childIDs[pos])
+			for j := 1; j < sz; j++ {
+				setIntKey(page, j-1, childFirst[pos+j])
+				setIntChild(page, j, childIDs[pos+j])
+			}
+			setCount(page, sz-1)
+			upIDs = append(upIDs, id)
+			upFirst = append(upFirst, childFirst[pos])
+			pos += sz
+		}
+		childIDs, childFirst = upIDs, upFirst
+	}
+	t.root = childIDs[0]
+	return t, nil
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.n }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int { return len(t.leaves) }
+
+// LeafCapacity returns the per-leaf key capacity (useful for sizing
+// experiments).
+func (t *Tree) LeafCapacity() int { return t.leafCap }
+
+// --- page accessors ---
+
+func initLeaf(p []byte) {
+	p[0] = pageLeaf
+	setCount(p, 0)
+	setLeafNext(p, InvalidPage)
+}
+
+func initInternal(p []byte) {
+	p[0] = pageInternal
+	setCount(p, 0)
+}
+
+func pageKind(p []byte) byte { return p[0] }
+
+func count(p []byte) int { return int(binary.LittleEndian.Uint16(p[2:4])) }
+
+func setCount(p []byte, c int) { binary.LittleEndian.PutUint16(p[2:4], uint16(c)) }
+
+func leafNext(p []byte) PageID { return PageID(binary.LittleEndian.Uint32(p[4:8])) }
+
+func setLeafNext(p []byte, id PageID) { binary.LittleEndian.PutUint32(p[4:8], uint32(id)) }
+
+func leafKey(p []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(p[leafHdr+8*i:]))
+}
+
+func setLeafKey(p []byte, i int, k int64) {
+	binary.LittleEndian.PutUint64(p[leafHdr+8*i:], uint64(k))
+}
+
+func intKey(p []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(p[intHdr+12*i:]))
+}
+
+func setIntKey(p []byte, i int, k int64) {
+	binary.LittleEndian.PutUint64(p[intHdr+12*i:], uint64(k))
+}
+
+func intChild(p []byte, i int) PageID {
+	if i == 0 {
+		return PageID(binary.LittleEndian.Uint32(p[4:8]))
+	}
+	return PageID(binary.LittleEndian.Uint32(p[intHdr+12*(i-1)+8:]))
+}
+
+func setIntChild(p []byte, i int, id PageID) {
+	if i == 0 {
+		binary.LittleEndian.PutUint32(p[4:8], uint32(id))
+		return
+	}
+	binary.LittleEndian.PutUint32(p[intHdr+12*(i-1)+8:], uint32(id))
+}
+
+// --- descent ---
+
+type pathEntry struct {
+	id       PageID
+	childIdx int
+}
+
+// descend walks from the root to a leaf. If seekLeft is true, equal
+// separator keys route left (lower-bound seeks); otherwise right (inserts
+// go after duplicates).
+func (t *Tree) descend(key int64, seekLeft bool, path *[]pathEntry) (PageID, error) {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		page, err := t.pool.Get(id)
+		if err != nil {
+			return InvalidPage, err
+		}
+		if pageKind(page) != pageInternal {
+			return InvalidPage, fmt.Errorf("%w: expected internal page %d", ErrCorrupt, id)
+		}
+		c := count(page)
+		lo, hi := 0, c
+		for lo < hi {
+			mid := (lo + hi) / 2
+			k := intKey(page, mid)
+			if key < k || (seekLeft && key == k) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if path != nil {
+			*path = append(*path, pathEntry{id: id, childIdx: lo})
+		}
+		id = intChild(page, lo)
+	}
+	return id, nil
+}
+
+// --- insert ---
+
+// Insert adds key to the tree. O(log_B n) I/Os amortized.
+func (t *Tree) Insert(key int64) error {
+	var path []pathEntry
+	leafID, err := t.descend(key, false, &path)
+	if err != nil {
+		return err
+	}
+	page, err := t.pool.Get(leafID)
+	if err != nil {
+		return err
+	}
+	c := count(page)
+	// Insert position: after duplicates.
+	lo, hi := 0, c
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key < leafKey(page, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if c < t.leafCap {
+		copy(page[leafHdr+8*(lo+1):leafHdr+8*(c+1)], page[leafHdr+8*lo:leafHdr+8*c])
+		setLeafKey(page, lo, key)
+		setCount(page, c+1)
+		t.pool.MarkDirty(leafID)
+		t.n++
+		return nil
+	}
+	// Split: materialize keys plus the new one, write back two halves.
+	t.scratchK = t.scratchK[:0]
+	for i := 0; i < c; i++ {
+		t.scratchK = append(t.scratchK, leafKey(page, i))
+	}
+	t.scratchK = append(t.scratchK, 0)
+	copy(t.scratchK[lo+1:], t.scratchK[lo:])
+	t.scratchK[lo] = key
+
+	mid := (c + 1) / 2
+	rightID, rightPage, err := t.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	// The pool may have evicted the left page while allocating; re-fetch.
+	page, err = t.pool.Get(leafID)
+	if err != nil {
+		return err
+	}
+	initLeaf(rightPage)
+	for i, k := range t.scratchK[mid:] {
+		setLeafKey(rightPage, i, k)
+	}
+	setCount(rightPage, len(t.scratchK)-mid)
+	setLeafNext(rightPage, leafNext(page))
+	for i, k := range t.scratchK[:mid] {
+		setLeafKey(page, i, k)
+	}
+	setCount(page, mid)
+	setLeafNext(page, rightID)
+	t.pool.MarkDirty(leafID)
+	t.pool.MarkDirty(rightID)
+	t.n++
+
+	// Leaf directory maintenance (in-memory metadata).
+	pos := t.leafPos[leafID]
+	t.leaves = append(t.leaves, InvalidPage)
+	copy(t.leaves[pos+2:], t.leaves[pos+1:])
+	t.leaves[pos+1] = rightID
+	for i := pos + 1; i < len(t.leaves); i++ {
+		t.leafPos[t.leaves[i]] = i
+	}
+
+	sep := leafKey(rightPage, 0)
+	return t.insertIntoParent(path, sep, rightID)
+}
+
+// insertIntoParent inserts (sep, rightID) into the deepest node of path,
+// splitting upward as needed.
+func (t *Tree) insertIntoParent(path []pathEntry, sep int64, rightID PageID) error {
+	if len(path) == 0 {
+		// New root.
+		newRootID, page, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		initInternal(page)
+		setIntChild(page, 0, t.root)
+		setIntKey(page, 0, sep)
+		setIntChild(page, 1, rightID)
+		setCount(page, 1)
+		t.root = newRootID
+		t.height++
+		return nil
+	}
+	entry := path[len(path)-1]
+	page, err := t.pool.Get(entry.id)
+	if err != nil {
+		return err
+	}
+	c := count(page)
+	at := entry.childIdx
+	if c < t.intCap {
+		// Shift entries [at, c) one slot right.
+		copy(page[intHdr+12*(at+1):intHdr+12*(c+1)], page[intHdr+12*at:intHdr+12*c])
+		setIntKey(page, at, sep)
+		setIntChild(page, at+1, rightID)
+		setCount(page, c+1)
+		t.pool.MarkDirty(entry.id)
+		return nil
+	}
+	// Split the internal node: materialize keys and children.
+	t.scratchK = t.scratchK[:0]
+	t.scratchC = t.scratchC[:0]
+	t.scratchC = append(t.scratchC, intChild(page, 0))
+	for i := 0; i < c; i++ {
+		t.scratchK = append(t.scratchK, intKey(page, i))
+		t.scratchC = append(t.scratchC, intChild(page, i+1))
+	}
+	t.scratchK = append(t.scratchK, 0)
+	copy(t.scratchK[at+1:], t.scratchK[at:])
+	t.scratchK[at] = sep
+	t.scratchC = append(t.scratchC, InvalidPage)
+	copy(t.scratchC[at+2:], t.scratchC[at+1:])
+	t.scratchC[at+1] = rightID
+
+	total := len(t.scratchK) // c+1 keys, c+2 children
+	mid := total / 2
+	promoted := t.scratchK[mid]
+
+	rightNodeID, rightPage, err := t.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	page, err = t.pool.Get(entry.id)
+	if err != nil {
+		return err
+	}
+	initInternal(rightPage)
+	setIntChild(rightPage, 0, t.scratchC[mid+1])
+	for i := mid + 1; i < total; i++ {
+		setIntKey(rightPage, i-mid-1, t.scratchK[i])
+		setIntChild(rightPage, i-mid, t.scratchC[i+1])
+	}
+	setCount(rightPage, total-mid-1)
+
+	setIntChild(page, 0, t.scratchC[0])
+	for i := 0; i < mid; i++ {
+		setIntKey(page, i, t.scratchK[i])
+		setIntChild(page, i+1, t.scratchC[i+1])
+	}
+	setCount(page, mid)
+	t.pool.MarkDirty(entry.id)
+	t.pool.MarkDirty(rightNodeID)
+
+	return t.insertIntoParent(path[:len(path)-1], promoted, rightNodeID)
+}
+
+// Delete removes one occurrence of key, reporting whether one existed.
+// Leaves are never merged (see type docs). O(log_B n) I/Os.
+func (t *Tree) Delete(key int64) (bool, error) {
+	leafID, err := t.descend(key, true, nil)
+	if err != nil {
+		return false, err
+	}
+	// The occurrence may be in a later leaf if this one only has smaller
+	// keys; walk the chain as long as keys <= key exist.
+	for leafID != InvalidPage {
+		page, err := t.pool.Get(leafID)
+		if err != nil {
+			return false, err
+		}
+		c := count(page)
+		lo, hi := 0, c
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if leafKey(page, mid) >= key {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo < c {
+			if leafKey(page, lo) != key {
+				return false, nil
+			}
+			copy(page[leafHdr+8*lo:leafHdr+8*(c-1)], page[leafHdr+8*(lo+1):leafHdr+8*c])
+			setCount(page, c-1)
+			t.pool.MarkDirty(leafID)
+			t.n--
+			return true, nil
+		}
+		leafID = leafNext(page)
+	}
+	return false, nil
+}

@@ -1,0 +1,153 @@
+package em
+
+import "container/list"
+
+// Pool is an LRU buffer pool over a Device. Get returns the in-pool frame
+// for a page, reading it from the device on a miss and evicting the least
+// recently used frame when full (writing it back if dirty).
+//
+// The returned frame data is valid until the page is evicted; callers that
+// traverse structures should copy what they need before triggering further
+// pool operations, or size the pool above their working set (the B+-tree
+// requires capacity >= height + 2).
+type Pool struct {
+	dev      *Device
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used; values are *frame
+	hits     int64
+	misses   int64
+	evicts   int64
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	elem  *list.Element
+}
+
+// PoolStats reports buffer pool behaviour.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Resident  int
+	Capacity  int
+}
+
+// NewPool creates a pool of the given frame capacity over dev.
+func NewPool(dev *Device, capacity int) (*Pool, error) {
+	if capacity < 4 {
+		return nil, ErrPoolTooTiny
+	}
+	return &Pool{
+		dev:      dev,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// Device returns the underlying device.
+func (p *Pool) Device() *Device { return p.dev }
+
+// Get returns the page's frame data, faulting it in if necessary.
+func (p *Pool) Get(id PageID) ([]byte, error) {
+	if f, ok := p.frames[id]; ok {
+		p.hits++
+		p.lru.MoveToFront(f.elem)
+		return f.data, nil
+	}
+	p.misses++
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, p.dev.PageSize())}
+	if err := p.dev.Read(id, f.data); err != nil {
+		return nil, err
+	}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	return f.data, nil
+}
+
+// NewPage allocates a fresh zeroed page on the device and returns it as a
+// resident dirty frame, without charging a device read (the contents are
+// known to be zero).
+func (p *Pool) NewPage() (PageID, []byte, error) {
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return InvalidPage, nil, err
+		}
+	}
+	id := p.dev.Alloc()
+	f := &frame{id: id, data: make([]byte, p.dev.PageSize()), dirty: true}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	return id, f.data, nil
+}
+
+// MarkDirty flags a resident page as modified so eviction writes it back.
+// Pages not resident are ignored (they can only be non-resident if already
+// written back).
+func (p *Pool) MarkDirty(id PageID) {
+	if f, ok := p.frames[id]; ok {
+		f.dirty = true
+	}
+}
+
+// evictOne removes the least recently used frame, writing it back if dirty.
+func (p *Pool) evictOne() error {
+	back := p.lru.Back()
+	if back == nil {
+		return nil
+	}
+	f := back.Value.(*frame)
+	if f.dirty {
+		if err := p.dev.Write(f.id, f.data); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(back)
+	delete(p.frames, f.id)
+	p.evicts++
+	return nil
+}
+
+// Flush writes every dirty resident page back to the device.
+func (p *Pool) Flush() error {
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.dev.Write(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Drop flushes dirty pages and then empties the pool, forcing subsequent
+// accesses to fault in from the device (cold-cache measurements).
+func (p *Pool) Drop() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	p.frames = make(map[PageID]*frame, p.capacity)
+	p.lru.Init()
+	return nil
+}
+
+// Stats returns hit/miss/eviction counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Hits: p.hits, Misses: p.misses, Evictions: p.evicts,
+		Resident: len(p.frames), Capacity: p.capacity,
+	}
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() { p.hits, p.misses, p.evicts = 0, 0, 0 }

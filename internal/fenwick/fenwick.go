@@ -1,0 +1,165 @@
+// Package fenwick implements binary indexed (Fenwick) trees over integer
+// counts and float64 weights, including the inverse-CDF descent used for
+// weighted sampling in O(log n) time per draw.
+//
+// The count tree indexes the group directory of the dynamic range-sampling
+// structure (range counting in O(log n)); the weight tree is the linear-space
+// baseline weighted sampler that the weighted extension benchmarks against.
+package fenwick
+
+import "math/bits"
+
+// Counts is a Fenwick tree over n integer-valued slots, all initially zero.
+type Counts struct {
+	tree  []int // 1-indexed
+	total int
+}
+
+// NewCounts returns a Counts tree over n slots.
+func NewCounts(n int) *Counts {
+	return &Counts{tree: make([]int, n+1)}
+}
+
+// NewCountsFrom builds a tree initialized to vals in O(n).
+func NewCountsFrom(vals []int) *Counts {
+	c := &Counts{tree: make([]int, len(vals)+1)}
+	for i, v := range vals {
+		c.tree[i+1] += v
+		c.total += v
+		if p := i + 1 + ((i + 1) & -(i + 1)); p < len(c.tree) {
+			c.tree[p] += c.tree[i+1]
+		}
+	}
+	return c
+}
+
+// Len returns the number of slots.
+func (c *Counts) Len() int { return len(c.tree) - 1 }
+
+// Total returns the sum over all slots.
+func (c *Counts) Total() int { return c.total }
+
+// Add adds delta to slot i (0-based).
+func (c *Counts) Add(i, delta int) {
+	c.total += delta
+	for i++; i < len(c.tree); i += i & -i {
+		c.tree[i] += delta
+	}
+}
+
+// PrefixSum returns the sum of slots [0, i). PrefixSum(Len()) is the total.
+func (c *Counts) PrefixSum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & -i {
+		s += c.tree[i]
+	}
+	return s
+}
+
+// RangeSum returns the sum of slots [lo, hi).
+func (c *Counts) RangeSum(lo, hi int) int {
+	if hi <= lo {
+		return 0
+	}
+	return c.PrefixSum(hi) - c.PrefixSum(lo)
+}
+
+// Select returns the smallest slot index i such that the sum of slots
+// [0, i] exceeds k; equivalently, with every slot value interpreted as a
+// multiplicity, it returns the slot containing the k-th (0-based) unit.
+// It requires 0 <= k < Total() and runs in O(log n).
+func (c *Counts) Select(k int) int {
+	if k < 0 || k >= c.total {
+		panic("fenwick: Select index out of range")
+	}
+	pos := 0
+	// Highest power of two <= len(tree)-1.
+	step := 1 << (bits.Len(uint(len(c.tree)-1)) - 1)
+	for ; step > 0; step >>= 1 {
+		next := pos + step
+		if next < len(c.tree) && c.tree[next] <= k {
+			pos = next
+			k -= c.tree[next]
+		}
+	}
+	return pos // 0-based slot
+}
+
+// Weights is a Fenwick tree over n float64-valued slots.
+type Weights struct {
+	tree []float64
+	vals []float64
+}
+
+// NewWeights builds a weight tree initialized to vals in O(n). Weights must
+// be non-negative; enforcing that is the caller's job (the samplers validate
+// on their public constructors).
+func NewWeights(vals []float64) *Weights {
+	w := &Weights{
+		tree: make([]float64, len(vals)+1),
+		vals: append([]float64(nil), vals...),
+	}
+	for i, v := range vals {
+		w.tree[i+1] += v
+		if p := i + 1 + ((i + 1) & -(i + 1)); p < len(w.tree) {
+			w.tree[p] += w.tree[i+1]
+		}
+	}
+	return w
+}
+
+// Len returns the number of slots.
+func (w *Weights) Len() int { return len(w.tree) - 1 }
+
+// Get returns the current value of slot i.
+func (w *Weights) Get(i int) float64 { return w.vals[i] }
+
+// Set changes slot i to v.
+func (w *Weights) Set(i int, v float64) {
+	delta := v - w.vals[i]
+	w.vals[i] = v
+	for j := i + 1; j < len(w.tree); j += j & -j {
+		w.tree[j] += delta
+	}
+}
+
+// PrefixSum returns the sum of slots [0, i).
+func (w *Weights) PrefixSum(i int) float64 {
+	s := 0.0
+	for ; i > 0; i -= i & -i {
+		s += w.tree[i]
+	}
+	return s
+}
+
+// RangeSum returns the sum of slots [lo, hi).
+func (w *Weights) RangeSum(lo, hi int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return w.PrefixSum(hi) - w.PrefixSum(lo)
+}
+
+// Total returns the sum over all slots.
+func (w *Weights) Total() float64 { return w.PrefixSum(w.Len()) }
+
+// Select returns the smallest slot i whose cumulative weight exceeds x,
+// i.e. the inverse CDF evaluated at x. For x uniform in [0, Total()) the
+// returned slot is distributed proportionally to the slot weights.
+// Out-of-range x is clamped to the nearest valid slot, which protects the
+// samplers against floating-point drift at the boundaries.
+func (w *Weights) Select(x float64) int {
+	pos := 0
+	step := 1 << (bits.Len(uint(len(w.tree)-1)) - 1)
+	for ; step > 0; step >>= 1 {
+		next := pos + step
+		if next < len(w.tree) && w.tree[next] <= x {
+			pos = next
+			x -= w.tree[next]
+		}
+	}
+	if pos >= w.Len() {
+		pos = w.Len() - 1
+	}
+	return pos
+}

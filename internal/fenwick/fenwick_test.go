@@ -1,0 +1,267 @@
+package fenwick
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+func TestCountsBasic(t *testing.T) {
+	c := NewCounts(10)
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.Add(0, 1)
+	c.Add(5, 3)
+	c.Add(9, 2)
+	if got := c.Total(); got != 6 {
+		t.Fatalf("Total = %d", got)
+	}
+	if got := c.PrefixSum(0); got != 0 {
+		t.Fatalf("PrefixSum(0) = %d", got)
+	}
+	if got := c.PrefixSum(1); got != 1 {
+		t.Fatalf("PrefixSum(1) = %d", got)
+	}
+	if got := c.PrefixSum(6); got != 4 {
+		t.Fatalf("PrefixSum(6) = %d", got)
+	}
+	if got := c.PrefixSum(10); got != 6 {
+		t.Fatalf("PrefixSum(10) = %d", got)
+	}
+	if got := c.RangeSum(1, 6); got != 3 {
+		t.Fatalf("RangeSum(1,6) = %d", got)
+	}
+	if got := c.RangeSum(6, 6); got != 0 {
+		t.Fatalf("RangeSum(6,6) = %d", got)
+	}
+	if got := c.RangeSum(6, 1); got != 0 {
+		t.Fatalf("RangeSum(6,1) = %d", got)
+	}
+}
+
+func TestCountsFrom(t *testing.T) {
+	vals := []int{3, 0, 1, 4, 1, 5, 9, 2, 6}
+	c := NewCountsFrom(vals)
+	sum := 0
+	for i, v := range vals {
+		if got := c.PrefixSum(i); got != sum {
+			t.Fatalf("PrefixSum(%d) = %d, want %d", i, got, sum)
+		}
+		sum += v
+	}
+	if c.Total() != sum {
+		t.Fatalf("Total = %d, want %d", c.Total(), sum)
+	}
+}
+
+// TestCountsAgainstNaive cross-checks a randomized op sequence against a
+// plain slice model.
+func TestCountsAgainstNaive(t *testing.T) {
+	r := xrand.New(1)
+	const n = 37
+	c := NewCounts(n)
+	model := make([]int, n)
+	for op := 0; op < 5000; op++ {
+		i := r.Intn(n)
+		delta := r.IntRange(0, 4)
+		c.Add(i, delta)
+		model[i] += delta
+		j := r.Intn(n + 1)
+		want := 0
+		for k := 0; k < j; k++ {
+			want += model[k]
+		}
+		if got := c.PrefixSum(j); got != want {
+			t.Fatalf("op %d: PrefixSum(%d) = %d, want %d", op, j, got, want)
+		}
+	}
+}
+
+func TestCountsSelect(t *testing.T) {
+	vals := []int{0, 3, 0, 2, 1, 0, 4}
+	c := NewCountsFrom(vals)
+	// Units 0..2 in slot 1, 3..4 in slot 3, 5 in slot 4, 6..9 in slot 6.
+	want := []int{1, 1, 1, 3, 3, 4, 6, 6, 6, 6}
+	for k, w := range want {
+		if got := c.Select(k); got != w {
+			t.Fatalf("Select(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestCountsSelectPanics(t *testing.T) {
+	c := NewCountsFrom([]int{1, 2})
+	for _, k := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Select(%d) did not panic", k)
+				}
+			}()
+			c.Select(k)
+		}()
+	}
+}
+
+// TestCountsSelectProperty: Select(k) must return the slot holding the k-th
+// unit for random count vectors.
+func TestCountsSelectProperty(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int, len(raw))
+		total := 0
+		for i, v := range raw {
+			vals[i] = int(v % 5)
+			total += vals[i]
+		}
+		if total == 0 {
+			return true
+		}
+		c := NewCountsFrom(vals)
+		k := 0
+		for slot, v := range vals {
+			for u := 0; u < v; u++ {
+				if c.Select(k) != slot {
+					return false
+				}
+				k++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightsBasic(t *testing.T) {
+	vals := []float64{1.5, 0, 2.5, 4}
+	w := NewWeights(vals)
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if got := w.Total(); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := w.PrefixSum(2); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("PrefixSum(2) = %v", got)
+	}
+	if got := w.RangeSum(1, 4); math.Abs(got-6.5) > 1e-12 {
+		t.Fatalf("RangeSum(1,4) = %v", got)
+	}
+	if got := w.Get(2); got != 2.5 {
+		t.Fatalf("Get(2) = %v", got)
+	}
+	w.Set(2, 10)
+	if got := w.Get(2); got != 10 {
+		t.Fatalf("Get(2) after Set = %v", got)
+	}
+	if got := w.Total(); math.Abs(got-15.5) > 1e-12 {
+		t.Fatalf("Total after Set = %v", got)
+	}
+}
+
+func TestWeightsSelect(t *testing.T) {
+	w := NewWeights([]float64{2, 0, 3, 5})
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {1.99, 0}, {2.0, 2}, {4.99, 2}, {5.0, 3}, {9.99, 3},
+	}
+	for _, tc := range cases {
+		if got := w.Select(tc.x); got != tc.want {
+			t.Fatalf("Select(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	// Out-of-range x clamps to the last slot rather than panicking.
+	if got := w.Select(1e9); got != 3 {
+		t.Fatalf("Select(1e9) = %d, want 3", got)
+	}
+}
+
+func TestWeightsSelectSkipsZero(t *testing.T) {
+	w := NewWeights([]float64{0, 1, 0, 0, 1, 0})
+	r := xrand.New(2)
+	for i := 0; i < 20000; i++ {
+		x := r.Float64() * w.Total()
+		got := w.Select(x)
+		if got != 1 && got != 4 {
+			t.Fatalf("Select(%v) = %d landed on a zero-weight slot", x, got)
+		}
+	}
+}
+
+func TestWeightsSamplingDistribution(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	w := NewWeights(vals)
+	r := xrand.New(3)
+	const draws = 400000
+	counts := make([]int, len(vals))
+	for i := 0; i < draws; i++ {
+		counts[w.Select(r.Float64()*w.Total())]++
+	}
+	for i, v := range vals {
+		got := float64(counts[i]) / draws
+		want := v / 10
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("slot %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWeightsAgainstNaive(t *testing.T) {
+	r := xrand.New(4)
+	const n = 23
+	vals := make([]float64, n)
+	w := NewWeights(vals)
+	for op := 0; op < 3000; op++ {
+		i := r.Intn(n)
+		v := r.Float64() * 10
+		w.Set(i, v)
+		vals[i] = v
+		j := r.Intn(n + 1)
+		want := 0.0
+		for k := 0; k < j; k++ {
+			want += vals[k]
+		}
+		if got := w.PrefixSum(j); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("op %d: PrefixSum(%d) = %v, want %v", op, j, got, want)
+		}
+	}
+}
+
+func BenchmarkCountsAdd(b *testing.B) {
+	c := NewCounts(1 << 20)
+	r := xrand.New(5)
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = r.Intn(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(idx[i&4095], 1)
+	}
+}
+
+func BenchmarkWeightsSelect(b *testing.B) {
+	n := 1 << 20
+	vals := make([]float64, n)
+	r := xrand.New(6)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	w := NewWeights(vals)
+	total := w.Total()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += w.Select(r.Float64() * total)
+	}
+	_ = sink
+}

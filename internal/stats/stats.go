@@ -1,0 +1,275 @@
+// Package stats provides the statistical machinery used to *verify* the
+// sampling structures: chi-square goodness-of-fit, Kolmogorov–Smirnov
+// distance, correlation estimates, and summary statistics. Experiments E8
+// and E9 are built on it, as are many unit tests.
+//
+// Everything is implemented from scratch on the standard library: the
+// normal quantile uses Acklam's rational approximation, and chi-square
+// critical values use the Wilson–Hilferty cube-root transform, both
+// accurate to far better than the tolerances the tests need.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Errors returned by the test helpers.
+var (
+	ErrMismatchedLengths = errors.New("stats: counts and probabilities have different lengths")
+	ErrInvalidProb       = errors.New("stats: probabilities must be non-negative and sum to ~1")
+	ErrTooFewSamples     = errors.New("stats: not enough samples")
+)
+
+// NormalQuantile returns the p-quantile of the standard normal
+// distribution (Acklam's algorithm, |relative error| < 1.15e-9).
+// It panics for p outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormalQuantile domain is (0,1)")
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// ChiSquareCritical returns the upper critical value of the chi-square
+// distribution with df degrees of freedom at significance alpha, via the
+// Wilson–Hilferty approximation.
+func ChiSquareCritical(df int, alpha float64) float64 {
+	if df <= 0 {
+		panic("stats: df must be positive")
+	}
+	switch df {
+	case 1:
+		// Chi-square with 1 df is Z²: P(Z² > c) = alpha at c = z(1-alpha/2)².
+		z := NormalQuantile(1 - alpha/2)
+		return z * z
+	case 2:
+		// Chi-square with 2 df is exponential with mean 2.
+		return -2 * math.Log(alpha)
+	}
+	z := NormalQuantile(1 - alpha)
+	k := float64(df)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}
+
+// ChiSquare computes the goodness-of-fit statistic of observed counts
+// against expected cell probabilities. Cells whose expected count is below
+// 1 are pooled into their successor to keep the statistic well behaved.
+// Returns the statistic and the effective degrees of freedom.
+func ChiSquare(counts []int, probs []float64) (stat float64, df int, err error) {
+	if len(counts) != len(probs) {
+		return 0, 0, ErrMismatchedLengths
+	}
+	n := 0
+	psum := 0.0
+	for i, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			return 0, 0, ErrInvalidProb
+		}
+		n += counts[i]
+		psum += p
+	}
+	if math.Abs(psum-1) > 1e-6 {
+		return 0, 0, ErrInvalidProb
+	}
+	if n == 0 {
+		return 0, 0, ErrTooFewSamples
+	}
+	// Pool cells forward until each pooled cell expects at least one
+	// observation; a tiny trailing cell merges backward.
+	var pooledCount []int
+	var pooledExp []float64
+	pendingCount := 0
+	pendingExp := 0.0
+	for i := range counts {
+		pendingCount += counts[i]
+		pendingExp += float64(n) * probs[i]
+		if pendingExp < 1 && i != len(counts)-1 {
+			continue
+		}
+		pooledCount = append(pooledCount, pendingCount)
+		pooledExp = append(pooledExp, pendingExp)
+		pendingCount = 0
+		pendingExp = 0
+	}
+	if last := len(pooledExp) - 1; last >= 1 && pooledExp[last] < 1 {
+		pooledCount[last-1] += pooledCount[last]
+		pooledExp[last-1] += pooledExp[last]
+		pooledCount = pooledCount[:last]
+		pooledExp = pooledExp[:last]
+	}
+	cells := 0
+	for i, exp := range pooledExp {
+		if exp <= 0 {
+			continue
+		}
+		d := float64(pooledCount[i]) - exp
+		stat += d * d / exp
+		cells++
+	}
+	if cells < 2 {
+		return 0, 0, ErrTooFewSamples
+	}
+	return stat, cells - 1, nil
+}
+
+// ChiSquareUniform is ChiSquare against the uniform distribution over the
+// cells.
+func ChiSquareUniform(counts []int) (stat float64, df int, err error) {
+	probs := make([]float64, len(counts))
+	for i := range probs {
+		probs[i] = 1 / float64(len(probs))
+	}
+	return ChiSquare(counts, probs)
+}
+
+// GOFResult reports a completed goodness-of-fit test.
+type GOFResult struct {
+	Stat     float64
+	DF       int
+	Critical float64
+	Alpha    float64
+	Reject   bool
+}
+
+// ChiSquareTest runs the chi-square test at significance alpha.
+func ChiSquareTest(counts []int, probs []float64, alpha float64) (GOFResult, error) {
+	stat, df, err := ChiSquare(counts, probs)
+	if err != nil {
+		return GOFResult{}, err
+	}
+	crit := ChiSquareCritical(df, alpha)
+	return GOFResult{Stat: stat, DF: df, Critical: crit, Alpha: alpha, Reject: stat > crit}, nil
+}
+
+// KSUniform returns the Kolmogorov–Smirnov statistic of samples against the
+// uniform distribution on [0, 1]. Samples outside [0, 1] make the distance
+// saturate toward 1.
+func KSUniform(samples []float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, ErrTooFewSamples
+	}
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	d := 0.0
+	for i, x := range xs {
+		cdf := math.Min(1, math.Max(0, x))
+		if up := float64(i+1)/n - cdf; up > d {
+			d = up
+		}
+		if down := cdf - float64(i)/n; down > d {
+			d = down
+		}
+	}
+	return d, nil
+}
+
+// KSCriticalUniform returns the asymptotic critical KS distance at
+// significance alpha for n samples: c(alpha)/sqrt(n) with
+// c(alpha) = sqrt(-ln(alpha/2)/2).
+func KSCriticalUniform(n int, alpha float64) float64 {
+	if n <= 0 {
+		panic("stats: n must be positive")
+	}
+	return math.Sqrt(-math.Log(alpha/2)/2) / math.Sqrt(float64(n))
+}
+
+// PearsonCorr returns the sample Pearson correlation of xs and ys.
+func PearsonCorr(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrMismatchedLengths
+	}
+	if len(xs) < 2 {
+		return 0, ErrTooFewSamples
+	}
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Autocorr returns the lag-k sample autocorrelation of xs.
+func Autocorr(xs []float64, lag int) (float64, error) {
+	if lag <= 0 || lag >= len(xs) {
+		return 0, ErrTooFewSamples
+	}
+	return PearsonCorr(xs[:len(xs)-lag], xs[lag:])
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                   int
+	Mean, Std           float64
+	Min, Max            float64
+	P50, P90, P99, P999 float64
+}
+
+// Summarize computes descriptive statistics. It sorts a copy of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrTooFewSamples
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum, sumSq := 0.0, 0.0
+	for _, v := range s {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	q := func(p float64) float64 {
+		i := int(p * (n - 1))
+		return s[i]
+	}
+	return Summary{
+		N: len(s), Mean: mean, Std: math.Sqrt(variance),
+		Min: s[0], Max: s[len(s)-1],
+		P50: q(0.50), P90: q(0.90), P99: q(0.99), P999: q(0.999),
+	}, nil
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.999, 3.090232},
+		{0.001, -3.090232},
+		{0.9999, 3.719016},
+	}
+	for _, tc := range cases {
+		if got := NormalQuantile(tc.p); math.Abs(got-tc.want) > 1e-4 {
+			t.Fatalf("NormalQuantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestChiSquareCritical(t *testing.T) {
+	// Reference values from standard tables.
+	cases := []struct {
+		df    int
+		alpha float64
+		want  float64
+	}{
+		{1, 0.05, 3.841},
+		{10, 0.05, 18.307},
+		{10, 0.001, 29.588},
+		{100, 0.05, 124.342},
+	}
+	for _, tc := range cases {
+		got := ChiSquareCritical(tc.df, tc.alpha)
+		if math.Abs(got-tc.want)/tc.want > 0.02 {
+			t.Fatalf("ChiSquareCritical(%d, %v) = %.3f, want ~%.3f", tc.df, tc.alpha, got, tc.want)
+		}
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquare([]int{1, 2}, []float64{1}); err != ErrMismatchedLengths {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := ChiSquare([]int{1, 2}, []float64{-0.5, 1.5}); err != ErrInvalidProb {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := ChiSquare([]int{1, 2}, []float64{0.4, 0.4}); err != ErrInvalidProb {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := ChiSquare([]int{0, 0}, []float64{0.5, 0.5}); err != ErrTooFewSamples {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	r := xrand.New(1)
+	counts := make([]int, 20)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(20)]++
+	}
+	res, err := ChiSquareTest(counts, uniformProbs(20), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject {
+		t.Fatalf("rejected genuine uniform: stat=%.1f crit=%.1f", res.Stat, res.Critical)
+	}
+	if res.DF != 19 {
+		t.Fatalf("df = %d", res.DF)
+	}
+}
+
+func TestChiSquareRejectsSkew(t *testing.T) {
+	r := xrand.New(2)
+	counts := make([]int, 20)
+	for i := 0; i < 100000; i++ {
+		// Mildly skewed: cell 0 gets double mass.
+		v := r.Intn(21)
+		if v == 20 {
+			v = 0
+		}
+		counts[v]++
+	}
+	res, err := ChiSquareTest(counts, uniformProbs(20), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject {
+		t.Fatalf("failed to reject skewed distribution: stat=%.1f crit=%.1f", res.Stat, res.Critical)
+	}
+}
+
+func TestChiSquarePoolsTinyCells(t *testing.T) {
+	// One cell with expected < 1 must be pooled, not divided by ~0.
+	counts := []int{50, 50, 0}
+	probs := []float64{0.4999, 0.4999, 0.0002}
+	stat, df, err := ChiSquare(counts, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(stat, 0) || math.IsNaN(stat) {
+		t.Fatalf("stat = %v", stat)
+	}
+	if df != 1 {
+		t.Fatalf("df = %d, want 1 after pooling", df)
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	r := xrand.New(3)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	d, err := KSUniform(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := KSCriticalUniform(len(xs), 0.001); d > crit {
+		t.Fatalf("KS distance %.4f > critical %.4f for genuine uniform", d, crit)
+	}
+	// A clearly non-uniform sample must exceed the critical value.
+	for i := range xs {
+		xs[i] = r.Float64() * 0.5
+	}
+	d, err = KSUniform(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := KSCriticalUniform(len(xs), 0.001); d <= crit {
+		t.Fatalf("KS failed to flag half-range sample: %.4f <= %.4f", d, crit)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KSUniform(nil); err != ErrTooFewSamples {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPearsonCorr(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got, _ := PearsonCorr(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("corr = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got, _ := PearsonCorr(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("corr = %v, want -1", got)
+	}
+	constant := []float64{3, 3, 3, 3, 3}
+	if got, _ := PearsonCorr(xs, constant); got != 0 {
+		t.Fatalf("corr vs constant = %v, want 0", got)
+	}
+	if _, err := PearsonCorr(xs, xs[:2]); err != ErrMismatchedLengths {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := PearsonCorr(xs[:1], neg[:1]); err != ErrTooFewSamples {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAutocorrIndependent(t *testing.T) {
+	r := xrand.New(4)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	ac, err := Autocorr(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For iid data the autocorrelation is ~N(0, 1/n): 5 sigma bound.
+	if bound := 5 / math.Sqrt(float64(len(xs))); math.Abs(ac) > bound {
+		t.Fatalf("lag-1 autocorrelation %v exceeds %v", ac, bound)
+	}
+	// A strongly autocorrelated series must be detected.
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.9*xs[i-1] + 0.1*r.Float64()
+	}
+	ac, err = Autocorr(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac < 0.5 {
+		t.Fatalf("failed to detect autocorrelation: %v", ac)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1000 || s.Min != 0 || s.Max != 999 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Mean-499.5) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.P50-499) > 1.5 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if math.Abs(s.P99-989) > 2 {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	if _, err := Summarize(nil); err != ErrTooFewSamples {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func uniformProbs(n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return p
+}

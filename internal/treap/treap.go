@@ -1,0 +1,273 @@
+// Package treap implements an order-statistic treap: a randomized balanced
+// binary search tree over an ordered multiset that supports rank and select
+// in O(log n) expected time.
+//
+// In this repository the treap plays the role of the classical dynamic
+// baseline for independent range sampling: a query counts the keys in the
+// range via two rank searches and then draws each sample by selecting a
+// uniformly random rank, paying O(log n) per sample. The Hu–Qiao–Tao
+// structure (internal/chunks + internal/core) exists precisely to beat this
+// O(log n + t·log n) bound, and the benchmark suite measures the gap.
+package treap
+
+import (
+	"cmp"
+	"unsafe"
+
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+type node[K cmp.Ordered] struct {
+	key         K
+	priority    uint64
+	size        int
+	left, right *node[K]
+}
+
+func (n *node[K]) sizeOf() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node[K]) update() {
+	n.size = 1 + n.left.sizeOf() + n.right.sizeOf()
+}
+
+// Tree is an ordered multiset of keys. The zero value is not usable; call
+// New. Tree is not safe for concurrent mutation.
+type Tree[K cmp.Ordered] struct {
+	root *node[K]
+	rng  *xrand.RNG
+}
+
+// New returns an empty tree whose rebalancing priorities are drawn from the
+// stream seeded by seed.
+func New[K cmp.Ordered](seed uint64) *Tree[K] {
+	return &Tree[K]{rng: xrand.New(seed)}
+}
+
+// Len returns the number of stored keys (counting duplicates).
+func (t *Tree[K]) Len() int { return t.root.sizeOf() }
+
+// split partitions n into keys < key and keys >= key.
+func split[K cmp.Ordered](n *node[K], key K) (l, r *node[K]) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key < key {
+		n.right, r = split(n.right, key)
+		n.update()
+		return n, r
+	}
+	l, n.left = split(n.left, key)
+	n.update()
+	return l, n
+}
+
+func merge[K cmp.Ordered](l, r *node[K]) *node[K] {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.priority >= r.priority {
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	}
+	r.left = merge(l, r.left)
+	r.update()
+	return r
+}
+
+// Insert adds key to the multiset.
+func (t *Tree[K]) Insert(key K) {
+	n := &node[K]{key: key, priority: t.rng.Uint64(), size: 1}
+	l, r := split(t.root, key)
+	t.root = merge(merge(l, n), r)
+}
+
+// Delete removes one occurrence of key, reporting whether one was present.
+func (t *Tree[K]) Delete(key K) bool {
+	var deleted bool
+	t.root = deleteOne(t.root, key, &deleted)
+	return deleted
+}
+
+func deleteOne[K cmp.Ordered](n *node[K], key K, deleted *bool) *node[K] {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case key < n.key:
+		n.left = deleteOne(n.left, key, deleted)
+	case key > n.key:
+		n.right = deleteOne(n.right, key, deleted)
+	default:
+		*deleted = true
+		return merge(n.left, n.right)
+	}
+	n.update()
+	return n
+}
+
+// Contains reports whether key occurs at least once.
+func (t *Tree[K]) Contains(key K) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// RankLower returns the number of keys strictly less than key.
+func (t *Tree[K]) RankLower(key K) int {
+	rank := 0
+	n := t.root
+	for n != nil {
+		if n.key < key {
+			rank += n.left.sizeOf() + 1
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return rank
+}
+
+// RankUpper returns the number of keys less than or equal to key.
+func (t *Tree[K]) RankUpper(key K) int {
+	rank := 0
+	n := t.root
+	for n != nil {
+		if n.key <= key {
+			rank += n.left.sizeOf() + 1
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return rank
+}
+
+// Count returns |{k in tree : lo <= k <= hi}|.
+func (t *Tree[K]) Count(lo, hi K) int {
+	if hi < lo {
+		return 0
+	}
+	return t.RankUpper(hi) - t.RankLower(lo)
+}
+
+// Select returns the key of rank i (0-based, in sorted order). It panics if
+// i is out of range.
+func (t *Tree[K]) Select(i int) K {
+	if i < 0 || i >= t.Len() {
+		panic("treap: Select index out of range")
+	}
+	n := t.root
+	for {
+		ls := n.left.sizeOf()
+		switch {
+		case i < ls:
+			n = n.left
+		case i == ls:
+			return n.key
+		default:
+			i -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// SampleAppend draws k independent uniform samples (with replacement) from
+// the keys in [lo, hi], appending them to dst. It returns dst and false if
+// the range is empty and k > 0. Cost: O(log n) for the rank searches plus
+// O(log n) per sample — this is the baseline bound the core structure beats.
+func (t *Tree[K]) SampleAppend(dst []K, lo, hi K, k int, r *xrand.RNG) ([]K, bool) {
+	if k <= 0 {
+		return dst, true
+	}
+	a := t.RankLower(lo)
+	b := t.RankUpper(hi)
+	if b <= a {
+		return dst, false
+	}
+	span := uint64(b - a)
+	for i := 0; i < k; i++ {
+		dst = append(dst, t.Select(a+int(r.Uint64n(span))))
+	}
+	return dst, true
+}
+
+// Footprint estimates resident bytes: one node per key.
+func (t *Tree[K]) Footprint() int64 {
+	var n node[K]
+	return int64(t.Len()) * int64(unsafe.Sizeof(n))
+}
+
+// Keys appends all keys in sorted order to dst and returns it. Intended for
+// tests and rebuilds.
+func (t *Tree[K]) Keys(dst []K) []K {
+	var walk func(n *node[K])
+	walk = func(n *node[K]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		dst = append(dst, n.key)
+		walk(n.right)
+	}
+	walk(t.root)
+	return dst
+}
+
+// validate checks the BST ordering, heap priorities, and size bookkeeping.
+// It is exported through Validate for use by tests.
+func (t *Tree[K]) Validate() error {
+	_, err := validateNode(t.root)
+	return err
+}
+
+type validationError string
+
+func (e validationError) Error() string { return string(e) }
+
+func validateNode[K cmp.Ordered](n *node[K]) (int, error) {
+	if n == nil {
+		return 0, nil
+	}
+	ls, err := validateNode(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := validateNode(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if n.size != ls+rs+1 {
+		return 0, validationError("treap: size field out of date")
+	}
+	if n.left != nil && n.left.key > n.key {
+		return 0, validationError("treap: BST order violated on the left")
+	}
+	if n.right != nil && n.right.key < n.key {
+		return 0, validationError("treap: BST order violated on the right")
+	}
+	if n.left != nil && n.left.priority > n.priority {
+		return 0, validationError("treap: heap order violated on the left")
+	}
+	if n.right != nil && n.right.priority > n.priority {
+		return 0, validationError("treap: heap order violated on the right")
+	}
+	return n.size, nil
+}

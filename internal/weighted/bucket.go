@@ -1,0 +1,140 @@
+package weighted
+
+import (
+	"cmp"
+	"math"
+	"sort"
+
+	"github.com/irsgo/irs/internal/alias"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// Bucket is the linear-space weighted sampler built on the "almost uniform
+// weight classes" idea of the follow-up literature (Afshani–Wei's Lemma-3
+// style framework): items are partitioned into classes whose weights agree
+// within a factor of two (by binary exponent). Inside a class, rejection
+// sampling — pick a uniform item, accept with probability w/classMax — is
+// exactly proportional and succeeds with probability > 1/2 per try.
+//
+// A query runs one binary search per occupied class (O(C log n) with
+// C = O(log U) classes for weight ratio U), builds an alias table over the
+// per-class range weights, and then draws each sample in expected O(1):
+// class by alias, item by rejection. Space is O(n).
+//
+// Zero-weight items are excluded from the classes (they are never sampled)
+// but still counted by Count.
+type Bucket[K cmp.Ordered] struct {
+	p       prepared[K] // all items, for Count/TotalWeight
+	classes []weightClass[K]
+
+	// Per-query scratch.
+	ranges  [][2]int32
+	clsW    []float64
+	builder alias.Builder
+	top     alias.Table
+}
+
+type weightClass[K cmp.Ordered] struct {
+	max     float64 // strict upper bound: weights in [max/2, max)
+	keys    []K
+	weights []float64
+	prefix  []float64
+}
+
+// NewBucket builds the sampler from items. O(n log n).
+func NewBucket[K cmp.Ordered](items []Item[K]) (*Bucket[K], error) {
+	p, err := prepare(items)
+	if err != nil {
+		return nil, err
+	}
+	byExp := map[int]*weightClass[K]{}
+	var exps []int
+	for i, w := range p.weights {
+		if w == 0 {
+			continue
+		}
+		// math.Frexp(w) = frac * 2^exp with frac in [0.5, 1): weights with
+		// equal exp are within a factor two; classMax = 2^exp.
+		_, exp := math.Frexp(w)
+		c := byExp[exp]
+		if c == nil {
+			c = &weightClass[K]{max: math.Ldexp(1, exp)}
+			byExp[exp] = c
+			exps = append(exps, exp)
+		}
+		c.keys = append(c.keys, p.keys[i])
+		c.weights = append(c.weights, w)
+	}
+	sort.Ints(exps)
+	b := &Bucket[K]{p: p}
+	for _, e := range exps {
+		c := byExp[e]
+		c.prefix = make([]float64, len(c.weights)+1)
+		for i, w := range c.weights {
+			c.prefix[i+1] = c.prefix[i] + w
+		}
+		b.classes = append(b.classes, *c)
+	}
+	return b, nil
+}
+
+// Len returns the number of stored items (including zero-weight ones).
+func (b *Bucket[K]) Len() int { return len(b.p.keys) }
+
+// Count returns the number of items in [lo, hi].
+func (b *Bucket[K]) Count(lo, hi K) int { return b.p.count(lo, hi) }
+
+// TotalWeight returns the weight mass in [lo, hi].
+func (b *Bucket[K]) TotalWeight(lo, hi K) float64 { return b.p.totalWeight(lo, hi) }
+
+// Classes returns the number of occupied weight classes (C in the bounds).
+func (b *Bucket[K]) Classes() int { return len(b.classes) }
+
+// SampleAppend draws t weighted samples: O(C log n) setup, expected O(1)
+// per sample.
+func (b *Bucket[K]) SampleAppend(dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
+	if err := sampleArgsErr(t); err != nil {
+		return dst, err
+	}
+	if t == 0 {
+		return dst, nil
+	}
+	count := b.p.count(lo, hi)
+	b.ranges = b.ranges[:0]
+	b.clsW = b.clsW[:0]
+	total := 0.0
+	for ci := range b.classes {
+		c := &b.classes[ci]
+		a := sort.Search(len(c.keys), func(i int) bool { return c.keys[i] >= lo })
+		e := sort.Search(len(c.keys), func(i int) bool { return c.keys[i] > hi })
+		if e < a {
+			e = a
+		}
+		w := c.prefix[e] - c.prefix[a]
+		b.ranges = append(b.ranges, [2]int32{int32(a), int32(e)})
+		b.clsW = append(b.clsW, w)
+		total += w
+	}
+	if err := rangeErr(count, total); err != nil {
+		return dst, err
+	}
+	if err := b.builder.Build(&b.top, b.clsW); err != nil {
+		return dst, err
+	}
+	for i := 0; i < t; i++ {
+		ci := b.top.Draw(rng)
+		c := &b.classes[ci]
+		a, e := int(b.ranges[ci][0]), int(b.ranges[ci][1])
+		span := uint64(e - a)
+		for {
+			j := a + int(rng.Uint64n(span))
+			// Accept with probability w/classMax in (1/2, 1]; exactly
+			// proportional within the class.
+			if rng.Float64()*c.max < c.weights[j] {
+				dst = append(dst, c.keys[j])
+				break
+			}
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,183 @@
+package weighted
+
+import (
+	"cmp"
+	"math/bits"
+
+	"github.com/irsgo/irs/internal/alias"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// SegmentAlias is the space-for-time weighted sampler: a segment tree over
+// the sorted keys where every node stores a Walker alias table over all the
+// leaves of its subtree. A query decomposes [lo, hi] into O(log n)
+// canonical nodes, builds one top-level alias table over their subtree
+// weights (O(log n)), and then draws every sample in worst-case O(1): one
+// draw from the top table picks a canonical node, one draw from that node's
+// table picks a leaf.
+//
+// Space is O(n log n): each leaf appears in the table of each of its
+// O(log n) ancestors. This is the classical trade-off the linear-space
+// Bucket and Fenwick samplers are measured against (experiment E11).
+type SegmentAlias[K cmp.Ordered] struct {
+	p    prepared[K]
+	size int // leaves padded to a power of two
+	// Per node (1-indexed heap layout): the subtree's total weight, the
+	// subtree's leaf interval, and an alias table over that interval.
+	total []float64
+	start []int32
+	span  []int32
+	table []*alias.Table
+
+	// Per-query scratch, reused.
+	nodes      []int32
+	nodeWeight []float64
+	topBuilder alias.Builder
+	top        alias.Table
+}
+
+// NewSegmentAlias builds the structure from items. O(n log n) time and
+// space.
+func NewSegmentAlias[K cmp.Ordered](items []Item[K]) (*SegmentAlias[K], error) {
+	p, err := prepare(items)
+	if err != nil {
+		return nil, err
+	}
+	n := len(p.keys)
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &SegmentAlias[K]{
+		p:     p,
+		size:  size,
+		total: make([]float64, 2*size),
+		start: make([]int32, 2*size),
+		span:  make([]int32, 2*size),
+		table: make([]*alias.Table, 2*size),
+	}
+	if n == 0 {
+		return s, nil
+	}
+	// Leaf level.
+	for i := 0; i < size; i++ {
+		v := size + i
+		s.start[v] = int32(i)
+		s.span[v] = 1
+		if i < n {
+			s.total[v] = p.weights[i]
+		}
+	}
+	// Internal levels, bottom-up.
+	var b alias.Builder
+	for v := size - 1; v >= 1; v-- {
+		l, r := 2*v, 2*v+1
+		s.total[v] = s.total[l] + s.total[r]
+		s.start[v] = s.start[l]
+		s.span[v] = s.span[l] + s.span[r]
+		if s.total[v] <= 0 {
+			continue
+		}
+		// Clip the subtree interval to real leaves.
+		st := int(s.start[v])
+		en := st + int(s.span[v])
+		if en > n {
+			en = n
+		}
+		if en-st <= 1 {
+			continue // single real leaf: sampled directly
+		}
+		tbl := &alias.Table{}
+		if err := b.Build(tbl, p.weights[st:en]); err != nil {
+			return nil, err
+		}
+		s.table[v] = tbl
+	}
+	return s, nil
+}
+
+// Len returns the number of stored items.
+func (s *SegmentAlias[K]) Len() int { return len(s.p.keys) }
+
+// Count returns the number of items in [lo, hi].
+func (s *SegmentAlias[K]) Count(lo, hi K) int { return s.p.count(lo, hi) }
+
+// TotalWeight returns the weight mass in [lo, hi].
+func (s *SegmentAlias[K]) TotalWeight(lo, hi K) float64 { return s.p.totalWeight(lo, hi) }
+
+// decompose fills s.nodes with the canonical nodes covering leaf interval
+// [a, b).
+func (s *SegmentAlias[K]) decompose(a, b int) {
+	s.nodes = s.nodes[:0]
+	l, r := a+s.size, b+s.size
+	for l < r {
+		if l&1 == 1 {
+			s.nodes = append(s.nodes, int32(l))
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			s.nodes = append(s.nodes, int32(r))
+		}
+		l >>= 1
+		r >>= 1
+	}
+}
+
+// SampleAppend draws t weighted samples. O(log n) setup plus worst-case
+// O(1) per sample.
+func (s *SegmentAlias[K]) SampleAppend(dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
+	if err := sampleArgsErr(t); err != nil {
+		return dst, err
+	}
+	if t == 0 {
+		return dst, nil
+	}
+	a, b := s.p.rankRange(lo, hi)
+	total := s.p.prefix[b] - s.p.prefix[a]
+	if err := rangeErr(b-a, total); err != nil {
+		return dst, err
+	}
+	s.decompose(a, b)
+	s.nodeWeight = s.nodeWeight[:0]
+	for _, v := range s.nodes {
+		s.nodeWeight = append(s.nodeWeight, s.total[v])
+	}
+	if err := s.topBuilder.Build(&s.top, s.nodeWeight); err != nil {
+		return dst, err
+	}
+	n := len(s.p.keys)
+	for i := 0; i < t; i++ {
+		v := s.nodes[s.top.Draw(rng)]
+		var leaf int
+		if tbl := s.table[v]; tbl != nil {
+			leaf = int(s.start[v]) + tbl.Draw(rng)
+		} else {
+			// Leaf node or single-real-leaf subtree: first real leaf with
+			// positive weight; by construction total[v] > 0 implies the
+			// unique real leaf is the start.
+			leaf = int(s.start[v])
+			if leaf >= n {
+				leaf = n - 1
+			}
+		}
+		dst = append(dst, s.p.keys[leaf])
+	}
+	return dst, nil
+}
+
+// FootprintTables returns the total number of alias-table entries stored,
+// the quantity that makes SegmentAlias Θ(n log n); used by the space
+// experiment.
+func (s *SegmentAlias[K]) FootprintTables() int64 {
+	var entries int64
+	for _, t := range s.table {
+		if t != nil {
+			entries += int64(t.Len())
+		}
+	}
+	return entries
+}
+
+// heightOf reports the tree height (for tests).
+func (s *SegmentAlias[K]) heightOf() int { return bits.Len(uint(s.size)) }

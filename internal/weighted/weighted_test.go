@@ -1,0 +1,414 @@
+package weighted
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// makeItems builds a deterministic weighted dataset with duplicates, zero
+// weights, and a wide weight range.
+func makeItems(n int, seed uint64) []Item[int] {
+	r := xrand.New(seed)
+	items := make([]Item[int], n)
+	for i := range items {
+		w := math.Exp(r.Float64() * 8) // ratio up to e^8 ~ 3000
+		if r.Bernoulli(0.05) {
+			w = 0
+		}
+		items[i] = Item[int]{Key: r.Intn(n / 2), Weight: w}
+	}
+	return items
+}
+
+// allSamplers constructs every implementation over the same items.
+func allSamplers(t *testing.T, items []Item[int]) map[string]Sampler[int] {
+	t.Helper()
+	seg, err := NewSegmentAlias(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bkt, err := NewBucket(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fen, err := NewFenwick(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := NewNaiveCDF(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Sampler[int]{"segalias": seg, "bucket": bkt, "fenwick": fen, "naive": nv}
+}
+
+func TestConstructionErrors(t *testing.T) {
+	bad := [][]Item[int]{
+		{{Key: 1, Weight: -1}},
+		{{Key: 1, Weight: math.NaN()}},
+		{{Key: 1, Weight: math.Inf(1)}},
+	}
+	for _, items := range bad {
+		if _, err := NewSegmentAlias(items); err != ErrInvalidWeight {
+			t.Fatalf("SegmentAlias(%v) err = %v", items, err)
+		}
+		if _, err := NewBucket(items); err != ErrInvalidWeight {
+			t.Fatalf("Bucket(%v) err = %v", items, err)
+		}
+		if _, err := NewFenwick(items); err != ErrInvalidWeight {
+			t.Fatalf("Fenwick(%v) err = %v", items, err)
+		}
+		if _, err := NewNaiveCDF(items); err != ErrInvalidWeight {
+			t.Fatalf("NaiveCDF(%v) err = %v", items, err)
+		}
+	}
+}
+
+func TestEmptyAndZeroRanges(t *testing.T) {
+	items := []Item[int]{{10, 1}, {20, 0}, {30, 2}}
+	r := xrand.New(1)
+	for name, s := range allSamplers(t, items) {
+		if s.Len() != 3 {
+			t.Fatalf("%s: Len = %d", name, s.Len())
+		}
+		if _, err := s.SampleAppend(nil, 100, 200, 1, r); err != ErrEmptyRange {
+			t.Fatalf("%s: empty err = %v", name, err)
+		}
+		// Key 20 exists but carries zero weight.
+		if _, err := s.SampleAppend(nil, 15, 25, 1, r); err != ErrZeroWeightRange {
+			t.Fatalf("%s: zero-weight err = %v", name, err)
+		}
+		if _, err := s.SampleAppend(nil, 10, 30, -1, r); err != ErrInvalidCount {
+			t.Fatalf("%s: negative err = %v", name, err)
+		}
+		if out, err := s.SampleAppend(nil, 10, 30, 0, r); err != nil || len(out) != 0 {
+			t.Fatalf("%s: t=0 out=%v err=%v", name, out, err)
+		}
+		if got := s.Count(15, 25); got != 1 {
+			t.Fatalf("%s: Count = %d", name, got)
+		}
+		if got := s.TotalWeight(10, 30); math.Abs(got-3) > 1e-12 {
+			t.Fatalf("%s: TotalWeight = %v", name, got)
+		}
+	}
+}
+
+func TestZeroWeightNeverSampled(t *testing.T) {
+	items := []Item[int]{{1, 5}, {2, 0}, {3, 1}, {4, 0}, {5, 4}}
+	r := xrand.New(2)
+	for name, s := range allSamplers(t, items) {
+		out, err := s.SampleAppend(nil, 1, 5, 50000, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, k := range out {
+			if k == 2 || k == 4 {
+				t.Fatalf("%s: sampled zero-weight key %d", name, k)
+			}
+		}
+	}
+}
+
+// TestProportionalSampling checks each implementation's empirical
+// frequencies against the exact weights with a chi-square bound.
+func TestProportionalSampling(t *testing.T) {
+	items := []Item[int]{
+		{10, 1}, {20, 2}, {30, 3}, {40, 4}, {50, 10}, {60, 0.5}, {70, 20},
+	}
+	r := xrand.New(3)
+	// Query [20, 60]: weights 2,3,4,10,0.5 => total 19.5.
+	weights := map[int]float64{20: 2, 30: 3, 40: 4, 50: 10, 60: 0.5}
+	const draws = 400000
+	for name, s := range allSamplers(t, items) {
+		if got := s.TotalWeight(20, 60); math.Abs(got-19.5) > 1e-9 {
+			t.Fatalf("%s: TotalWeight = %v", name, got)
+		}
+		out, err := s.SampleAppend(make([]int, 0, draws), 20, 60, draws, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		counts := map[int]int{}
+		for _, k := range out {
+			if _, ok := weights[k]; !ok {
+				t.Fatalf("%s: sample %d outside range", name, k)
+			}
+			counts[k]++
+		}
+		chi2 := 0.0
+		for k, w := range weights {
+			exp := draws * w / 19.5
+			d := float64(counts[k]) - exp
+			chi2 += d * d / exp
+		}
+		// 4 df; 0.001 critical value 18.5.
+		if chi2 > 18.5 {
+			t.Fatalf("%s: chi-square %.1f, counts %v", name, chi2, counts)
+		}
+	}
+}
+
+// TestImplementationsAgreeOnRandomData compares all implementations'
+// empirical distributions on a messy random dataset (duplicate keys, zero
+// weights, wide ratios) against exact probabilities.
+func TestImplementationsAgreeOnRandomData(t *testing.T) {
+	items := makeItems(2000, 4)
+	r := xrand.New(5)
+	samplers := allSamplers(t, items)
+
+	// Exact per-key weight in the query range (keys collapse duplicates:
+	// P(key) = sum of weights of its occurrences).
+	lo, hi := 100, 800
+	keyW := map[int]float64{}
+	total := 0.0
+	for _, it := range items {
+		if it.Key >= lo && it.Key <= hi {
+			keyW[it.Key] += it.Weight
+			total += it.Weight
+		}
+	}
+	const draws = 300000
+	for name, s := range samplers {
+		if got := s.TotalWeight(lo, hi); math.Abs(got-total) > 1e-6*total {
+			t.Fatalf("%s: TotalWeight = %v, want %v", name, got, total)
+		}
+		out, err := s.SampleAppend(make([]int, 0, draws), lo, hi, draws, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		counts := map[int]int{}
+		for _, k := range out {
+			counts[k]++
+		}
+		chi2, df := 0.0, 0
+		for k, w := range keyW {
+			exp := draws * w / total
+			if exp < 10 {
+				continue
+			}
+			d := float64(counts[k]) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		// Wilson–Hilferty 0.0001-level bound, generous: chi2 < df + 5*sqrt(2df).
+		if lim := float64(df) + 5*math.Sqrt(2*float64(df)); chi2 > lim {
+			t.Fatalf("%s: chi-square %.1f over %d cells (limit %.1f)", name, chi2, df, lim)
+		}
+	}
+}
+
+func TestCountsAgree(t *testing.T) {
+	items := makeItems(3000, 6)
+	samplers := allSamplers(t, items)
+	keys := make([]int, len(items))
+	for i, it := range items {
+		keys[i] = it.Key
+	}
+	sort.Ints(keys)
+	r := xrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		lo, hi := r.Intn(1500), r.Intn(1500)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := sort.SearchInts(keys, hi+1) - sort.SearchInts(keys, lo)
+		for name, s := range samplers {
+			if got := s.Count(lo, hi); got != want {
+				t.Fatalf("%s: Count(%d,%d) = %d, want %d", name, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestFenwickDynamicWeights(t *testing.T) {
+	items := []Item[int]{{1, 1}, {2, 1}, {3, 1}, {4, 1}}
+	f, err := NewFenwick(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetWeightByRank(0, 97); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.WeightByRank(0); got != 97 {
+		t.Fatalf("WeightByRank = %v", got)
+	}
+	if got := f.KeyByRank(0); got != 1 {
+		t.Fatalf("KeyByRank = %v", got)
+	}
+	if got := f.TotalWeight(1, 4); math.Abs(got-100) > 1e-12 {
+		t.Fatalf("TotalWeight = %v", got)
+	}
+	r := xrand.New(8)
+	out, err := f.SampleAppend(nil, 1, 4, 100000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for _, k := range out {
+		if k == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / float64(len(out))
+	if frac < 0.96 || frac > 0.98 {
+		t.Fatalf("reweighted key frequency %.4f, want ~0.97", frac)
+	}
+	// Zeroing a weight removes it from sampling.
+	if err := f.SetWeightByRank(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err = f.SampleAppend(nil, 1, 4, 10000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range out {
+		if k == 1 {
+			t.Fatal("sampled key with zero weight after update")
+		}
+	}
+	if err := f.SetWeightByRank(0, -1); err != ErrInvalidWeight {
+		t.Fatalf("negative weight err = %v", err)
+	}
+	if err := f.SetWeightByRank(0, math.NaN()); err != ErrInvalidWeight {
+		t.Fatalf("NaN weight err = %v", err)
+	}
+}
+
+func TestBucketClassCount(t *testing.T) {
+	// Weights 1, 2, 4, 8 land in four distinct binary classes.
+	items := []Item[int]{{1, 1}, {2, 2}, {3, 4}, {4, 8}}
+	b, err := NewBucket(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Classes(); got != 4 {
+		t.Fatalf("Classes = %d, want 4", got)
+	}
+	// Nearly-equal weights share one class.
+	items = []Item[int]{{1, 1.0}, {2, 1.1}, {3, 1.2}, {4, 1.3}}
+	b, err = NewBucket(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Classes(); got != 1 {
+		t.Fatalf("Classes = %d, want 1", got)
+	}
+}
+
+func TestSegmentAliasSmallAndSingle(t *testing.T) {
+	r := xrand.New(9)
+	s, err := NewSegmentAlias([]Item[int]{{42, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.SampleAppend(nil, 0, 100, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range out {
+		if k != 42 {
+			t.Fatalf("sample %d", k)
+		}
+	}
+	if s.heightOf() < 1 {
+		t.Fatal("height")
+	}
+	if s.FootprintTables() != 0 {
+		t.Fatalf("single item should store no tables, got %d entries", s.FootprintTables())
+	}
+	// Empty structure.
+	e, err := NewSegmentAlias[int](nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SampleAppend(nil, 0, 1, 1, r); err != ErrEmptyRange {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSegmentAliasFootprintGrowsLinearithmic(t *testing.T) {
+	mk := func(n int) int64 {
+		items := make([]Item[int], n)
+		for i := range items {
+			items[i] = Item[int]{Key: i, Weight: 1 + float64(i%7)}
+		}
+		s, err := NewSegmentAlias(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.FootprintTables()
+	}
+	f1, f2 := mk(1<<10), mk(1<<14)
+	// Expect roughly n log n growth: ratio ~ 16 * (14/10) = 22.4.
+	ratio := float64(f2) / float64(f1)
+	if ratio < 16 || ratio > 32 {
+		t.Fatalf("table entries grew by %.1fx from 2^10 to 2^14", ratio)
+	}
+}
+
+func TestExtremeWeightRatios(t *testing.T) {
+	items := []Item[int]{{1, 1e-9}, {2, 1}, {3, 1e9}}
+	r := xrand.New(10)
+	for name, s := range allSamplers(t, items) {
+		out, err := s.SampleAppend(nil, 1, 3, 200000, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		threes := 0
+		for _, k := range out {
+			if k == 3 {
+				threes++
+			}
+		}
+		if frac := float64(threes) / float64(len(out)); frac < 0.999 {
+			t.Fatalf("%s: heavy key frequency %.5f", name, frac)
+		}
+	}
+}
+
+func BenchmarkSegmentAliasSample64(b *testing.B) {
+	items := makeItems(1<<17, 11)
+	s, err := NewSegmentAlias(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(12)
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, _ = s.SampleAppend(buf, 1000, 50000, 64, r)
+	}
+}
+
+func BenchmarkBucketSample64(b *testing.B) {
+	items := makeItems(1<<17, 13)
+	s, err := NewBucket(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(14)
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, _ = s.SampleAppend(buf, 1000, 50000, 64, r)
+	}
+}
+
+func BenchmarkFenwickSample64(b *testing.B) {
+	items := makeItems(1<<17, 15)
+	s, err := NewFenwick(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(16)
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, _ = s.SampleAppend(buf, 1000, 50000, 64, r)
+	}
+}

@@ -1,0 +1,170 @@
+// Package workload generates the datasets, query mixes, and update streams
+// the benchmark harness runs the samplers on. The distributions cover the
+// regimes the range-sampling literature cares about: uniform keys (the
+// friendly case R-tree/quadtree heuristics rely on), clustered and heavy-
+// tailed keys (where distribution-dependent structures degrade but IRS
+// bounds are unaffected), and adversarially dense/sparse mixtures.
+package workload
+
+import (
+	"math"
+	"slices"
+
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// Distribution names a key distribution.
+type Distribution string
+
+// Supported key distributions.
+const (
+	Uniform   Distribution = "uniform"   // iid uniform over [0, 1e9)
+	Clustered Distribution = "clustered" // mixture of tight Gaussian clusters
+	Zipf      Distribution = "zipf"      // heavy-tailed gaps between keys
+	Dense     Distribution = "dense"     // consecutive integers (adversarial for hashing, friendly for arrays)
+)
+
+// Distributions lists every supported distribution.
+func Distributions() []Distribution {
+	return []Distribution{Uniform, Clustered, Zipf, Dense}
+}
+
+// Keys generates n float64 keys from the distribution, sorted ascending.
+func Keys(dist Distribution, n int, rng *xrand.RNG) []float64 {
+	keys := make([]float64, n)
+	switch dist {
+	case Uniform:
+		for i := range keys {
+			keys[i] = rng.Float64() * 1e9
+		}
+	case Clustered:
+		clusters := 1 + n/10000
+		centers := make([]float64, clusters)
+		for i := range centers {
+			centers[i] = rng.Float64() * 1e9
+		}
+		for i := range keys {
+			c := centers[rng.Intn(clusters)]
+			keys[i] = c + rng.Norm64()*1e4
+		}
+	case Zipf:
+		// Heavy-tailed positive gaps: key_i = key_{i-1} + pareto(1.2).
+		x := 0.0
+		for i := range keys {
+			gap := math.Pow(1-rng.Float64(), -1/1.2) // Pareto(alpha=1.2), min 1
+			x += gap
+			keys[i] = x
+		}
+		return keys // already sorted by construction
+	case Dense:
+		for i := range keys {
+			keys[i] = float64(i)
+		}
+		return keys
+	default:
+		panic("workload: unknown distribution " + string(dist))
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// IntKeys generates n int64 keys (scaled from the float distribution),
+// sorted ascending. Used by the external-memory experiments.
+func IntKeys(dist Distribution, n int, rng *xrand.RNG) []int64 {
+	fk := Keys(dist, n, rng)
+	keys := make([]int64, n)
+	for i, f := range fk {
+		keys[i] = int64(f * 1000)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Range is one query interval.
+type Range struct {
+	Lo, Hi float64
+}
+
+// RangesWithSelectivity builds q query ranges over the sorted keys, each
+// containing ~selectivity*n keys, with uniformly random left endpoints.
+func RangesWithSelectivity(keys []float64, selectivity float64, q int, rng *xrand.RNG) []Range {
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	span := int(selectivity * float64(n))
+	if span < 1 {
+		span = 1
+	}
+	if span > n {
+		span = n
+	}
+	out := make([]Range, q)
+	for i := range out {
+		start := 0
+		if n > span {
+			start = rng.Intn(n - span + 1)
+		}
+		out[i] = Range{Lo: keys[start], Hi: keys[start+span-1]}
+	}
+	return out
+}
+
+// Op is one update-stream operation.
+type Op struct {
+	Insert bool
+	Key    float64
+}
+
+// UpdateStream produces m operations with the given insert fraction.
+// Deletions pick keys from the live set so they (almost always) succeed.
+func UpdateStream(dist Distribution, m int, insertFrac float64, rng *xrand.RNG) []Op {
+	live := Keys(dist, max(1, m/4), rng)
+	ops := make([]Op, m)
+	for i := range ops {
+		if rng.Bernoulli(insertFrac) || len(live) == 0 {
+			var k float64
+			switch dist {
+			case Dense:
+				k = float64(rng.Intn(1 << 30))
+			default:
+				k = rng.Float64() * 1e9
+			}
+			ops[i] = Op{Insert: true, Key: k}
+			live = append(live, k)
+		} else {
+			j := rng.Intn(len(live))
+			ops[i] = Op{Insert: false, Key: live[j]}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return ops
+}
+
+// ZipfWeights returns n weights following a Zipf law with the given skew
+// (weight of rank r is 1/r^skew), shuffled so weight is independent of key
+// order. Used by the weighted-extension experiments.
+func ZipfWeights(n int, skew float64, rng *xrand.RNG) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -skew)
+	}
+	rng.Shuffle(n, func(i, j int) { w[i], w[j] = w[j], w[i] })
+	return w
+}
+
+// BoundedRatioWeights returns n positive weights whose max/min ratio is at
+// most u, log-uniformly distributed. Used to sweep the weight-universe
+// parameter U in experiment E11.
+func BoundedRatioWeights(n int, u float64, rng *xrand.RNG) []float64 {
+	if u < 1 {
+		u = 1
+	}
+	w := make([]float64, n)
+	lnU := math.Log(u)
+	for i := range w {
+		w[i] = math.Exp(rng.Float64() * lnU)
+	}
+	return w
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+func TestKeysSortedAndSized(t *testing.T) {
+	r := xrand.New(1)
+	for _, d := range Distributions() {
+		keys := Keys(d, 5000, r)
+		if len(keys) != 5000 {
+			t.Fatalf("%s: len = %d", d, len(keys))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] > keys[i] {
+				t.Fatalf("%s: unsorted at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestKeysPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown distribution")
+		}
+	}()
+	Keys("bogus", 10, xrand.New(2))
+}
+
+func TestIntKeysSorted(t *testing.T) {
+	r := xrand.New(3)
+	keys := IntKeys(Clustered, 3000, r)
+	if len(keys) != 3000 {
+		t.Fatalf("len = %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+}
+
+func TestRangesWithSelectivity(t *testing.T) {
+	r := xrand.New(4)
+	keys := Keys(Uniform, 10000, r)
+	for _, sel := range []float64{0.001, 0.01, 0.1, 1.0} {
+		ranges := RangesWithSelectivity(keys, sel, 50, r)
+		if len(ranges) != 50 {
+			t.Fatalf("got %d ranges", len(ranges))
+		}
+		for _, q := range ranges {
+			if q.Lo > q.Hi {
+				t.Fatalf("inverted range %+v", q)
+			}
+			// Count keys inside; must be ~sel*n.
+			want := int(sel * 10000)
+			if want < 1 {
+				want = 1
+			}
+			got := 0
+			for _, k := range keys {
+				if k >= q.Lo && k <= q.Hi {
+					got++
+				}
+			}
+			// Duplicates can inflate counts slightly; be lenient upward.
+			if got < want {
+				t.Fatalf("sel %v: range holds %d keys, want >= %d", sel, got, want)
+			}
+		}
+	}
+	if got := RangesWithSelectivity(nil, 0.1, 5, r); got != nil {
+		t.Fatal("expected nil for empty keys")
+	}
+}
+
+func TestUpdateStream(t *testing.T) {
+	r := xrand.New(5)
+	ops := UpdateStream(Uniform, 10000, 0.7, r)
+	if len(ops) != 10000 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	inserts := 0
+	for _, op := range ops {
+		if op.Insert {
+			inserts++
+		}
+	}
+	frac := float64(inserts) / float64(len(ops))
+	if frac < 0.65 || frac > 0.75 {
+		t.Fatalf("insert fraction %.3f, want ~0.7", frac)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	r := xrand.New(6)
+	w := ZipfWeights(1000, 1.0, r)
+	if len(w) != 1000 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for _, v := range w {
+		if v <= 0 || v > 1 {
+			t.Fatalf("weight %v out of (0,1]", v)
+		}
+	}
+}
+
+func TestBoundedRatioWeights(t *testing.T) {
+	r := xrand.New(7)
+	for _, u := range []float64{1, 10, 1e6} {
+		w := BoundedRatioWeights(500, u, r)
+		mn, mx := w[0], w[0]
+		for _, v := range w {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if mx/mn > u*1.0001 {
+			t.Fatalf("u=%v: ratio %v exceeds bound", u, mx/mn)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package xrand
+
+import "math"
+
+// polarScale returns sqrt(-2 ln s / s), the scaling factor of the polar
+// method for normal variates.
+func polarScale(s float64) float64 {
+	return math.Sqrt(-2 * math.Log(s) / s)
+}

@@ -1,0 +1,301 @@
+package irs_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	irs "github.com/irsgo/irs"
+)
+
+// TestPublicAPISurface exercises every exported constructor and method
+// through the public package, as a downstream user would.
+func TestPublicAPISurface(t *testing.T) {
+	rng := irs.NewRNG(1)
+
+	s := irs.NewStatic([]int{5, 3, 9, 1, 7})
+	if s.Len() != 5 || s.Count(3, 7) != 3 {
+		t.Fatalf("static Len=%d Count=%d", s.Len(), s.Count(3, 7))
+	}
+	if _, err := irs.NewStaticFromSorted([]int{2, 1}); err != irs.ErrUnsorted {
+		t.Fatalf("err = %v", err)
+	}
+	out, err := s.Sample(1, 9, 10, rng)
+	if err != nil || len(out) != 10 {
+		t.Fatalf("Sample: %v %v", out, err)
+	}
+	wor, err := s.SampleWithoutReplacement(1, 9, 3, rng)
+	if err != nil || len(wor) != 3 {
+		t.Fatalf("WOR: %v %v", wor, err)
+	}
+
+	d := irs.NewDynamic[int]()
+	for i := 0; i < 1000; i++ {
+		d.Insert(i)
+	}
+	if !d.Delete(500) || d.Len() != 999 {
+		t.Fatal("dynamic update")
+	}
+	if _, err := d.Sample(5000, 6000, 1, rng); err != irs.ErrEmptyRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Sample(0, 10, -1, rng); err != irs.ErrInvalidCount {
+		t.Fatalf("err = %v", err)
+	}
+
+	d2, err := irs.NewDynamicFromSorted([]int{1, 2, 3})
+	if err != nil || d2.Len() != 3 {
+		t.Fatal("FromSorted")
+	}
+	d3 := irs.NewDynamicFromUnsorted([]int{3, 1, 2})
+	if d3.Len() != 3 {
+		t.Fatal("FromUnsorted")
+	}
+
+	// Baselines satisfy the same interface.
+	var samplers []irs.Sampler[int]
+	tr := irs.NewTreapSampler[int](7)
+	rep := irs.NewReportSampler[int]()
+	samplers = append(samplers, d, tr, rep)
+	for _, smp := range samplers {
+		smp.Insert(42)
+		if smp.Count(42, 42) < 1 {
+			t.Fatal("Count after insert")
+		}
+		if _, err := smp.SampleAppend(nil, 42, 42, 2, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep2, err := irs.NewReportSamplerFromSorted([]int{1, 2})
+	if err != nil || rep2.Len() != 2 {
+		t.Fatal("report FromSorted")
+	}
+
+	// Weighted extension.
+	items := []irs.WeightedItem[int]{{Key: 1, Weight: 1}, {Key: 2, Weight: 3}, {Key: 3, Weight: 0}}
+	seg, err := irs.NewWeightedSegmentAlias(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bkt, err := irs.NewWeightedBucket(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fen, err := irs.NewWeightedFenwick(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := irs.NewWeightedNaiveCDF(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range []irs.WeightedSampler[int]{seg, bkt, fen, nv} {
+		if ws.Len() != 3 || ws.Count(1, 3) != 3 {
+			t.Fatal("weighted metadata")
+		}
+		if got := ws.TotalWeight(1, 3); got != 4 {
+			t.Fatalf("TotalWeight = %v", got)
+		}
+		out, err := ws.SampleAppend(nil, 1, 3, 100, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range out {
+			if k == 3 {
+				t.Fatal("sampled zero-weight key")
+			}
+		}
+		if _, err := ws.SampleAppend(nil, 3, 3, 1, rng); err != irs.ErrZeroWeightRange {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if _, err := irs.NewWeightedFenwick([]irs.WeightedItem[int]{{Key: 1, Weight: -1}}); err != irs.ErrInvalidWeight {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPersistenceThroughPublicAPI round-trips both structures through the
+// exported Save/Load functions.
+func TestPersistenceThroughPublicAPI(t *testing.T) {
+	rng := irs.NewRNG(4)
+	var buf bytes.Buffer
+
+	s := irs.NewStatic([]float64{2.5, 1.5, 3.5})
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := irs.LoadStatic[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 || s2.At(0) != 1.5 {
+		t.Fatal("static round trip")
+	}
+
+	d := irs.NewDynamicFromUnsorted([]int{5, 1, 3})
+	buf.Reset()
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := irs.LoadDynamic[int](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 3 || !d2.Contains(3) {
+		t.Fatal("dynamic round trip")
+	}
+	out, err := d2.Sample(1, 5, 4, rng)
+	if err != nil || len(out) != 4 {
+		t.Fatalf("sample after load: %v %v", out, err)
+	}
+	buf.Reset()
+	if _, err := irs.LoadDynamic[int](&buf); !errors.Is(err, irs.ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestWeightedTreapThroughPublicAPI exercises the dynamic weighted sampler
+// from the exported surface.
+func TestWeightedTreapThroughPublicAPI(t *testing.T) {
+	rng := irs.NewRNG(5)
+	wt := irs.NewWeightedTreap[string](9)
+	if err := wt.Insert("ads", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.Insert("billing", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.Insert("checkout", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := wt.TotalWeight("a", "z"); got != 16 {
+		t.Fatalf("TotalWeight = %v", got)
+	}
+	out, err := wt.SampleAppend(nil, "a", "z", 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ads := 0
+	for _, k := range out {
+		if k == "ads" {
+			ads++
+		}
+	}
+	if frac := float64(ads) / float64(len(out)); frac < 0.57 || frac > 0.68 {
+		t.Fatalf("ads frequency %.3f, want ~0.625", frac)
+	}
+	if ok, err := wt.UpdateWeight("ads", 0); err != nil || !ok {
+		t.Fatalf("UpdateWeight: %v %v", ok, err)
+	}
+	out, err = wt.SampleAppend(nil, "a", "z", 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range out {
+		if k == "ads" {
+			t.Fatal("sampled zero-weight key after update")
+		}
+	}
+
+	wt2, err := irs.NewWeightedTreapFromItems(11, []irs.WeightedItem[int]{{Key: 1, Weight: 2}})
+	if err != nil || wt2.Len() != 1 {
+		t.Fatalf("FromItems: %v", err)
+	}
+}
+
+// TestStringKeysThroughPublicAPI checks the generic surface with a
+// non-numeric key type.
+func TestStringKeysThroughPublicAPI(t *testing.T) {
+	rng := irs.NewRNG(2)
+	d := irs.NewDynamic[string]()
+	words := []string{"ant", "bee", "cat", "dog", "elk", "fox"}
+	for _, w := range words {
+		d.Insert(w)
+	}
+	out, err := d.Sample("b", "e", 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range out {
+		if w != "bee" && w != "cat" && w != "dog" {
+			t.Fatalf("sample %q", w)
+		}
+	}
+}
+
+// TestCrossStructureDistributions draws from Static and Dynamic on the same
+// data and compares their empirical distributions to each other and to the
+// truth.
+func TestCrossStructureDistributions(t *testing.T) {
+	rng := irs.NewRNG(3)
+	keys := make([]int, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		keys = append(keys, int(rng.Uint64n(2000)))
+	}
+	sort.Ints(keys)
+	st, err := irs.NewStaticFromSorted(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy, err := irs.NewDynamicFromSorted(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 500, 1500
+	inRange := map[int]int{}
+	total := 0
+	for _, k := range keys {
+		if k >= lo && k <= hi {
+			inRange[k]++
+			total++
+		}
+	}
+	const draws = 200000
+	for name, smp := range map[string]func() ([]int, error){
+		"static":  func() ([]int, error) { return st.Sample(lo, hi, draws, rng) },
+		"dynamic": func() ([]int, error) { return dy.Sample(lo, hi, draws, rng) },
+	} {
+		out, err := smp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int]int{}
+		for _, v := range out {
+			counts[v]++
+		}
+		chi2, df := 0.0, 0
+		for k, mult := range inRange {
+			exp := float64(draws) * float64(mult) / float64(total)
+			if exp < 8 {
+				continue
+			}
+			d := float64(counts[k]) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		limit := float64(df) + 6*sqrt(2*float64(df))
+		if chi2 > limit {
+			t.Fatalf("%s: chi2 %.1f over %d cells (limit %.1f)", name, chi2, df, limit)
+		}
+	}
+}
+
+func sqrt(x float64) float64 {
+	// Newton is fine for a test helper.
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func ExampleStatic() {
+	s := irs.NewStatic([]float64{1.5, 2.5, 3.5, 4.5})
+	rng := irs.NewRNG(9)
+	n := s.Count(2.0, 4.0)
+	samples, _ := s.Sample(2.0, 4.0, 2, rng)
+	fmt.Println(n, len(samples))
+	// Output: 2 2
+}
