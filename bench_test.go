@@ -8,6 +8,9 @@ package irs_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	irs "github.com/irsgo/irs"
@@ -328,6 +331,129 @@ func BenchmarkE13Mixed(b *testing.B) {
 				d.Delete(k + 0.25)
 			}
 		}
+	}
+}
+
+// BenchmarkE16ConcurrentOverhead — single-thread cost of the sharded
+// concurrent layer relative to the plain Dynamic it wraps (routing, lock,
+// per-shard counts, multinomial split).
+func BenchmarkE16ConcurrentOverhead(b *testing.B) {
+	rng := xrand.New(16)
+	keys := workload.Keys(workload.Uniform, 1_000_000, rng)
+	ranges := workload.RangesWithSelectivity(keys, 0.01, 64, rng)
+	d, err := irs.NewDynamicFromSorted(keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samplers := map[string]core.Sampler[float64]{"dynamic": d}
+	for _, p := range []int{1, 8} {
+		c, err := irs.NewConcurrentFromSorted(keys, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samplers[fmt.Sprintf("concurrent%d", p)] = c
+	}
+	for name, s := range samplers {
+		b.Run(name, func(b *testing.B) {
+			buf := make([]float64, 0, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := ranges[i%len(ranges)]
+				buf = buf[:0]
+				buf, _ = s.SampleAppend(buf, r.Lo, r.Hi, 64, rng)
+			}
+		})
+	}
+}
+
+// BenchmarkE16SampleManyScaling — aggregate SampleMany throughput with
+// GOMAXPROCS parallel clients and a live background writer, single-shard vs
+// sharded. Each op is one SampleMany batch of 16 queries x 64 samples; the
+// sharded configuration must scale >= 2x over shards=1 on multi-core
+// hardware (run with -cpu to sweep client parallelism).
+func BenchmarkE16SampleManyScaling(b *testing.B) {
+	rng := xrand.New(17)
+	keys := workload.Keys(workload.Uniform, 1_000_000, rng)
+	ranges := workload.RangesWithSelectivity(keys, 0.01, 256, rng)
+	shardCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if shardCounts[1] < 2 {
+		shardCounts[1] = 2
+	}
+	for _, p := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			c, err := irs.NewConcurrentFromSorted(keys, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // continuous write churn in a disjoint key block
+				defer wg.Done()
+				wrng := xrand.New(18)
+				batch := make([]float64, 256)
+				for !stop.Load() {
+					for i := range batch {
+						batch[i] = wrng.Float64Range(2e9, 3e9)
+					}
+					c.InsertBatch(batch)
+					c.DeleteBatch(batch)
+				}
+			}()
+			var seed atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				grng := xrand.New(100 + seed.Add(1))
+				qs := make([]irs.ConcurrentQuery[float64], 16)
+				for pb.Next() {
+					for i := range qs {
+						r := ranges[int(grng.Uint64n(uint64(len(ranges))))]
+						qs[i] = irs.ConcurrentQuery[float64]{Lo: r.Lo, Hi: r.Hi, T: 64}
+					}
+					if _, err := c.SampleMany(qs, grng); err != nil {
+						// b.Fatal is not legal from a RunParallel worker.
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			stop.Store(true)
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkE16InsertBatch — lock amortization: batched inserts vs the same
+// keys inserted one call at a time.
+func BenchmarkE16InsertBatch(b *testing.B) {
+	rng := xrand.New(19)
+	keys := workload.Keys(workload.Uniform, 100_000, rng)
+	const batch = 1024
+	fresh := make([]float64, batch)
+	for mode, run := range map[string]func(c *irs.Concurrent[float64]){
+		"point": func(c *irs.Concurrent[float64]) {
+			for _, k := range fresh {
+				c.Insert(k)
+			}
+		},
+		"batch": func(c *irs.Concurrent[float64]) { c.InsertBatch(fresh) },
+	} {
+		b.Run(mode, func(b *testing.B) {
+			c, err := irs.NewConcurrentFromSorted(keys, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := range fresh {
+					fresh[j] = rng.Float64Range(0, 1e9)
+				}
+				b.StartTimer()
+				run(c)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,126 @@
+package irs_test
+
+import (
+	"slices"
+	"sync"
+	"testing"
+
+	irs "github.com/irsgo/irs"
+)
+
+// TestConcurrentPublicAPI exercises the concurrent sampler through the
+// public package, as a downstream user would: constructors, the Sampler
+// interface, batch entry points, stats, and the concurrency contract.
+func TestConcurrentPublicAPI(t *testing.T) {
+	rng := irs.NewRNG(5)
+
+	keys := make([]float64, 10_000)
+	for i := range keys {
+		keys[i] = rng.Float64() * 1000
+	}
+	sorted := append([]float64(nil), keys...)
+	slices.Sort(sorted)
+
+	c, err := irs.NewConcurrentFromSorted(sorted, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := irs.NewConcurrentFromSorted([]float64{2, 1}, 4); err != irs.ErrUnsorted {
+		t.Fatalf("unsorted: err = %v", err)
+	}
+	if _, err := irs.NewConcurrentFromSplits([]int{3, 1}); err != irs.ErrUnsorted {
+		t.Fatalf("unsorted splits: err = %v", err)
+	}
+
+	// The concurrent structure satisfies the same Sampler interface as the
+	// single-threaded ones, so existing call sites can adopt it directly.
+	var s irs.Sampler[float64] = c
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	out, err := s.SampleAppend(nil, 100, 900, 50, rng)
+	if err != nil || len(out) != 50 {
+		t.Fatalf("SampleAppend: %d, %v", len(out), err)
+	}
+	for _, k := range out {
+		if k < 100 || k > 900 {
+			t.Fatalf("sample %g out of range", k)
+		}
+	}
+	if _, err := s.SampleAppend(nil, 2000, 3000, 1, rng); err != irs.ErrEmptyRange {
+		t.Fatalf("empty range: err = %v", err)
+	}
+	if _, err := s.SampleAppend(nil, 0, 1, -1, rng); err != irs.ErrInvalidCount {
+		t.Fatalf("negative count: err = %v", err)
+	}
+
+	// Batch APIs.
+	c.InsertBatch([]float64{1001, 1002, 1003})
+	if got := c.Count(1001, 1003); got != 3 {
+		t.Fatalf("after InsertBatch: Count = %d", got)
+	}
+	if removed := c.DeleteBatch([]float64{1001, 1002, 1003, 9999}); removed != 3 {
+		t.Fatalf("DeleteBatch removed %d", removed)
+	}
+	results, err := c.SampleMany([]irs.ConcurrentQuery[float64]{
+		{Lo: 0, Hi: 500, T: 10},
+		{Lo: 500, Hi: 1000, T: 10},
+	}, rng)
+	if err != nil || len(results) != 2 || len(results[0]) != 10 || len(results[1]) != 10 {
+		t.Fatalf("SampleMany: %v, %v", results, err)
+	}
+
+	var st irs.ConcurrentStats = c.Stats()
+	if st.Shards != 4 || st.Len != len(keys) {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Concurrent goroutines, each with its own RNG split — the documented
+	// usage pattern.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(grng *irs.RNG) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Insert(grng.Float64() * 1000)
+				if _, err := c.Sample(0, 1000, 8, grng); err != nil {
+					t.Errorf("Sample: %v", err)
+					return
+				}
+			}
+		}(rng.Split())
+	}
+	wg.Wait()
+	if c.Len() != len(keys)+800 {
+		t.Fatalf("final Len = %d", c.Len())
+	}
+}
+
+// TestConcurrentGrowsFromEmpty covers the New constructor's lazy topology:
+// a fresh structure has one shard and grows toward the target as data
+// arrives.
+func TestConcurrentGrowsFromEmpty(t *testing.T) {
+	c := irs.NewConcurrent[int](6)
+	if c.Shards() != 1 {
+		t.Fatalf("fresh shards = %d", c.Shards())
+	}
+	batch := make([]int, 30_000)
+	for i := range batch {
+		batch[i] = i
+	}
+	c.InsertBatch(batch)
+	if c.Shards() < 2 {
+		t.Fatalf("no growth: shards = %d", c.Shards())
+	}
+	rng := irs.NewRNG(9)
+	out, err := c.Sample(10_000, 20_000, 25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range out {
+		if k < 10_000 || k > 20_000 {
+			t.Fatalf("sample %d out of range", k)
+		}
+	}
+}

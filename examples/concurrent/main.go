@@ -1,0 +1,133 @@
+// Concurrent: serving range-sampling queries while the data changes under
+// heavy parallel traffic — the production shape of the IRS problem.
+//
+// A Concurrent sampler shards the key space across per-shard locks, so
+// writers touch one shard at a time while readers sample consistent
+// snapshots of the shards their range overlaps. This demo runs a small
+// "latency observability service": ingest goroutines stream latency
+// measurements in batches while query goroutines concurrently sample the
+// live distribution to estimate tail behavior over arbitrary windows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	irs "github.com/irsgo/irs"
+)
+
+func main() {
+	rng := irs.NewRNG(42)
+
+	// Seed the service with an initial latency population (milliseconds,
+	// log-normal-ish: a fast mode plus a heavy tail).
+	initial := make([]float64, 200_000)
+	for i := range initial {
+		initial[i] = latency(rng)
+	}
+	c := irs.NewConcurrent[float64](8)
+	c.InsertBatch(initial)
+
+	st := c.Stats()
+	fmt.Printf("loaded %d measurements across %d shards %v\n", st.Len, st.Shards, st.PerShard)
+
+	const (
+		ingesters  = 4
+		queriers   = 4
+		perBatch   = 1_000
+		batches    = 25
+		perQuerier = 200
+	)
+	var sampled atomic.Int64
+	var wg sync.WaitGroup
+
+	// Ingest: each goroutine streams batches of fresh measurements.
+	// InsertBatch write-locks each involved shard once per batch, not once
+	// per key.
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(wrng *irs.RNG) {
+			defer wg.Done()
+			batch := make([]float64, perBatch)
+			for b := 0; b < batches; b++ {
+				for i := range batch {
+					batch[i] = latency(wrng)
+				}
+				c.InsertBatch(batch)
+			}
+		}(rng.Split())
+	}
+
+	// Query: each goroutine batches four windows per round with SampleMany,
+	// which answers all of them against one consistent snapshot.
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(qrng *irs.RNG) {
+			defer wg.Done()
+			queries := []irs.ConcurrentQuery[float64]{
+				{Lo: 0, Hi: 5, T: 64},    // the fast mode
+				{Lo: 5, Hi: 50, T: 64},   // the shoulder
+				{Lo: 50, Hi: 1e9, T: 64}, // the deep tail
+				{Lo: 0, Hi: 1e9, T: 256}, // everything
+			}
+			for round := 0; round < perQuerier; round++ {
+				results, err := c.SampleMany(queries, qrng)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for i, out := range results {
+					q := queries[i]
+					for _, v := range out {
+						if v < q.Lo || v > q.Hi {
+							log.Fatalf("sample %.3f escaped [%.0f, %.0f]", v, q.Lo, q.Hi)
+						}
+					}
+					sampled.Add(int64(len(out)))
+				}
+			}
+		}(rng.Split())
+	}
+
+	wg.Wait()
+
+	total := len(initial) + ingesters*batches*perBatch
+	fmt.Printf("ingested %d measurements while drawing %d samples concurrently\n",
+		total-len(initial), sampled.Load())
+	if c.Len() != total {
+		log.Fatalf("lost data: Len = %d, want %d", c.Len(), total)
+	}
+
+	// The sampler doubles as a live order-statistics service: estimate tail
+	// quantiles by sampling, then verify against exact counts.
+	est, err := c.Sample(0, 1e9, 10_000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	over50 := 0
+	for _, v := range est {
+		if v > 50 {
+			over50++
+		}
+	}
+	exact := float64(c.Count(50.0000001, 1e9)) / float64(c.Len())
+	fmt.Printf("P(latency > 50ms): sampled %.3f%%, exact %.3f%%\n",
+		100*float64(over50)/float64(len(est)), 100*exact)
+
+	st = c.Stats()
+	fmt.Printf("final topology: %d keys across %d shards %v\n", st.Len, st.Shards, st.PerShard)
+}
+
+// latency draws a synthetic latency in milliseconds: ~90% a fast mode
+// around 2ms, ~10% a heavy tail stretching to seconds.
+func latency(rng *irs.RNG) float64 {
+	if rng.Bernoulli(0.9) {
+		v := 2 + rng.Norm64()
+		if v < 0.1 {
+			v = 0.1
+		}
+		return v
+	}
+	return 20 / (1.001 - rng.Float64()) // Pareto-ish tail from 20ms up
+}

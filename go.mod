@@ -1,0 +1,3 @@
+module github.com/irsgo/irs
+
+go 1.24

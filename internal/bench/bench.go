@@ -141,6 +141,7 @@ func All() []Experiment {
 		{"E13", "Mixed workload throughput (queries interleaved with updates)", runE13},
 		{"E14", "Ablation: chunk parameter s", runE14},
 		{"E15", "Ablation: short-range collect fast path", runE15},
+		{"E16", "Concurrent sharded sampler: single-thread overhead and multi-core scaling", runE16},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// E1..E9 sort before E10+ numerically.

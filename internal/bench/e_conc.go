@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/irsgo/irs/internal/core"
+	"github.com/irsgo/irs/internal/shard"
+	"github.com/irsgo/irs/internal/workload"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// E16 — the concurrent sharded sampler. Two claims are measured:
+//
+//  1. Single-thread overhead: routing, per-query locking, and the
+//     multinomial split must cost only a small constant over the plain
+//     Dynamic structure they wrap.
+//  2. Multi-core scaling: with P shards and a live writer in the
+//     background, aggregate SampleMany throughput must grow with the
+//     number of client goroutines, while the single-shard configuration —
+//     one RWMutex serializing every writer against every reader — stalls.
+func runE16(cfg Config) ([]*Table, error) {
+	n := cfg.scaled(1_000_000, 100_000)
+	rng := xrand.New(cfg.Seed + 16)
+	keys := workload.Keys(workload.Uniform, n, rng)
+	ranges := workload.RangesWithSelectivity(keys, querySel, 64, rng)
+	const t = 64
+
+	// --- Table 1: single-thread overhead -----------------------------
+	overhead := &Table{
+		Title:   fmt.Sprintf("E16a — Single-thread query cost, n=%s, t=%d, selectivity 1%%", fmtCount(n), t),
+		Columns: []string{"sampler", "ns/query", "vs Dynamic"},
+		Notes: []string{"Claim: the concurrent layer adds only constant overhead per query",
+			"(shard routing + lock + per-shard counts + multinomial split)."},
+	}
+	dyn, err := core.NewDynamicFromSorted(keys)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]float64, 0, t)
+	dynNS := queryNS(cfg, ranges, func(r workload.Range) {
+		buf = buf[:0]
+		buf, _ = dyn.SampleAppend(buf, r.Lo, r.Hi, t, rng)
+	})
+	overhead.AddRow("Dynamic", fmtNS(dynNS), "1.00x")
+	for _, p := range []int{1, 8} {
+		c, err := shard.NewFromSorted(keys, p)
+		if err != nil {
+			return nil, err
+		}
+		ns := queryNS(cfg, ranges, func(r workload.Range) {
+			buf = buf[:0]
+			buf, _ = c.SampleAppend(buf, r.Lo, r.Hi, t, rng)
+		})
+		overhead.AddRow(fmt.Sprintf("Concurrent/%d shard(s)", p),
+			fmtNS(ns), fmt.Sprintf("%.2fx", ns/dynNS))
+	}
+
+	// --- Table 2: multi-core SampleMany throughput under writes ------
+	procs := runtime.GOMAXPROCS(0)
+	scaling := &Table{
+		Title: fmt.Sprintf("E16b — SampleMany throughput vs clients, n=%s, background writer, GOMAXPROCS=%d",
+			fmtCount(n), procs),
+		Columns: []string{"clients", "shards=1 q/s", fmt.Sprintf("shards=%d q/s", shardCount(procs)), "speedup"},
+		Notes: []string{"Claim: sharding converts writer pressure from a global stall into a 1/P stall;",
+			"aggregate read throughput scales with cores instead of flatlining.",
+			"(speedup = sharded / single-shard at the same client count)"},
+	}
+	window := cfg.minDur()
+	if window < 50*time.Millisecond {
+		window = 50 * time.Millisecond
+	}
+	for clients := 1; clients <= procs || clients == 1; clients *= 2 {
+		single := concThroughput(keys, 1, clients, t, window, cfg.Seed+17)
+		sharded := concThroughput(keys, shardCount(procs), clients, t, window, cfg.Seed+18)
+		scaling.AddRow(fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%.0f", single), fmt.Sprintf("%.0f", sharded),
+			fmt.Sprintf("%.2fx", sharded/single))
+		if clients >= procs {
+			break
+		}
+	}
+	return []*Table{overhead, scaling}, nil
+}
+
+// shardCount picks the sharded configuration for E16b: one shard per
+// processor, at least two so the multinomial path is exercised.
+func shardCount(procs int) int {
+	if procs < 2 {
+		return 2
+	}
+	return procs
+}
+
+// concThroughput runs `clients` goroutines issuing SampleMany batches (16
+// queries x t samples) against a Concurrent with p shards while one writer
+// goroutine applies continuous InsertBatch/DeleteBatch churn, and returns
+// aggregate queries/second over the window.
+func concThroughput(keys []float64, p, clients, t int, window time.Duration, seed uint64) float64 {
+	c, err := shard.NewFromSorted(keys, p)
+	if err != nil {
+		panic(err)
+	}
+	rng := xrand.New(seed)
+	ranges := workload.RangesWithSelectivity(keys, querySel, 256, rng)
+
+	var stop atomic.Bool
+	var queries atomic.Int64
+	var wg sync.WaitGroup
+
+	// Background writer: steady insert/delete churn of its own key block.
+	// (Every goroutine gets its RNG split off before launch: an *RNG must
+	// never be shared.)
+	wrng := rng.Split()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]float64, 256)
+		for !stop.Load() {
+			for i := range batch {
+				batch[i] = wrng.Float64Range(2e9, 3e9)
+			}
+			c.InsertBatch(batch)
+			c.DeleteBatch(batch)
+		}
+	}()
+
+	const batchQ = 16
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(grng *xrand.RNG) {
+			defer wg.Done()
+			qs := make([]shard.Query[float64], batchQ)
+			for !stop.Load() {
+				for i := range qs {
+					r := ranges[int(grng.Uint64n(uint64(len(ranges))))]
+					qs[i] = shard.Query[float64]{Lo: r.Lo, Hi: r.Hi, T: t}
+				}
+				if _, err := c.SampleMany(qs, grng); err != nil {
+					panic(err)
+				}
+				queries.Add(batchQ)
+			}
+		}(rng.Split())
+	}
+
+	start := time.Now()
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(queries.Load()) / elapsed
+}

@@ -115,6 +115,30 @@ func (d *Dynamic[K]) SampleAppend(dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K
 	return dst, nil
 }
 
+// SampleRunAppend is SampleAppend drawing through caller-owned run scratch
+// instead of the receiver's internal scratch. Because the underlying chunked
+// list is never mutated by a query, any number of goroutines may call
+// SampleRunAppend on the same Dynamic concurrently — each with its own run
+// and RNG — provided no update runs at the same time. The sharded concurrent
+// layer (internal/shard) relies on this to serve readers under a shared
+// (non-exclusive) lock.
+func (d *Dynamic[K]) SampleRunAppend(run *chunks.Run[K], dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
+	if err := sampleArgsErr(t); err != nil {
+		return dst, err
+	}
+	if t == 0 {
+		return dst, nil
+	}
+	d.list.InitRun(run, lo, hi)
+	if run.Empty() {
+		return dst, ErrEmptyRange
+	}
+	for i := 0; i < t; i++ {
+		dst = append(dst, run.Sample(rng))
+	}
+	return dst, nil
+}
+
 // SampleProbesAppend is SampleAppend that also accumulates the number of
 // rejection probes spent, for the probe-tail experiment (E10).
 func (d *Dynamic[K]) SampleProbesAppend(dst []K, lo, hi K, t int, rng *xrand.RNG, probes []int) ([]K, []int, error) {
@@ -207,6 +231,11 @@ func (d *Dynamic[K]) GeometryStats() chunks.Stats { return d.list.GeometryStats(
 // AppendRange appends all keys in [lo, hi] in sorted order. O(log n + out).
 func (d *Dynamic[K]) AppendRange(dst []K, lo, hi K) []K {
 	return d.list.AppendRange(dst, lo, hi)
+}
+
+// AppendKeys appends every stored key in sorted order. O(n).
+func (d *Dynamic[K]) AppendKeys(dst []K) []K {
+	return d.list.AppendKeys(dst)
 }
 
 // Validate checks internal invariants (O(n); for tests).

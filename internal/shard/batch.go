@@ -1,0 +1,212 @@
+package shard
+
+import (
+	"cmp"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+
+	"github.com/irsgo/irs/internal/core"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// parallelQueryMin is the total sample count across a SampleMany batch
+// above which queries are answered by a pool of worker goroutines.
+const parallelQueryMin = parallelSampleMin
+
+// InsertBatch adds every key in keys (duplicates allowed). The batch is
+// sorted once, segmented by shard, and each involved shard is write-locked
+// exactly once — the lock-amortization hot path for heavy insert traffic.
+// The input slice is not retained or modified.
+func (c *Concurrent[K]) InsertBatch(keys []K) {
+	if len(keys) == 0 {
+		return
+	}
+	own := append([]K(nil), keys...)
+	slices.Sort(own)
+
+	c.topoMu.RLock()
+	grow := false
+	c.forEachSegment(own, func(sh *shardState[K], seg []K) {
+		sh.mu.Lock()
+		for _, k := range seg {
+			sh.dyn.Insert(k)
+		}
+		sh.n.Add(int64(len(seg)))
+		sh.mu.Unlock()
+		c.total.Add(int64(len(seg)))
+		grow = grow || c.wantRebalance(sh)
+	})
+	c.topoMu.RUnlock()
+	if grow {
+		c.maybeRebalance()
+	}
+}
+
+// DeleteBatch removes one occurrence of each key in keys, returning how
+// many were present and removed. Locking mirrors InsertBatch.
+func (c *Concurrent[K]) DeleteBatch(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	own := append([]K(nil), keys...)
+	slices.Sort(own)
+
+	removed := 0
+	c.topoMu.RLock()
+	c.forEachSegment(own, func(sh *shardState[K], seg []K) {
+		sh.mu.Lock()
+		got := 0
+		for _, k := range seg {
+			if sh.dyn.Delete(k) {
+				got++
+			}
+		}
+		sh.n.Add(int64(-got))
+		sh.mu.Unlock()
+		c.total.Add(int64(-got))
+		removed += got
+	})
+	c.topoMu.RUnlock()
+	return removed
+}
+
+// forEachSegment splits the sorted keys into per-shard runs and invokes fn
+// once per non-empty run, in shard order. Callers must hold topoMu shared.
+func (c *Concurrent[K]) forEachSegment(sorted []K, fn func(sh *shardState[K], seg []K)) {
+	start := 0
+	for s := 0; s < len(c.shards) && start < len(sorted); s++ {
+		end := len(sorted)
+		if s < len(c.splits) {
+			// Shard s owns keys strictly below splits[s] (equal keys route
+			// right), so its run ends at the first key >= splits[s].
+			split := c.splits[s]
+			end = start + sort.Search(len(sorted)-start, func(i int) bool {
+				return sorted[start+i] >= split
+			})
+		}
+		if end > start {
+			fn(c.shards[s], sorted[start:end])
+			start = end
+		}
+	}
+}
+
+// Query is one range-sampling request in a SampleMany batch.
+type Query[K cmp.Ordered] struct {
+	Lo, Hi K
+	T      int // number of samples to draw
+}
+
+// SampleMany answers a batch of range-sampling queries against one
+// consistent snapshot: exactly the shards the batch's queries overlap are
+// read-locked once for the whole batch, amortizing lock traffic across
+// queries, and every query sees the same data version. Shards no query
+// touches stay unlocked, so unrelated writers are never stalled.
+//
+// results[i] holds the samples of queries[i]. A query over an empty range
+// yields a nil slice rather than failing the batch; a negative T fails the
+// whole batch with core.ErrInvalidCount before any sampling happens.
+//
+// For large batches (total samples >= a few thousand) the queries fan out
+// over min(GOMAXPROCS, len(queries)) worker goroutines, each drawing from
+// an independent RNG stream derived from rng by Split.
+func (c *Concurrent[K]) SampleMany(queries []Query[K], rng *xrand.RNG) ([][]K, error) {
+	totalT := 0
+	for _, q := range queries {
+		if q.T < 0 {
+			return nil, core.ErrInvalidCount
+		}
+		totalT += q.T
+	}
+	results := make([][]K, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+
+	// Exact union of the shards the batch touches — shards no query
+	// overlaps are not locked, so writers there proceed during the batch.
+	// Locks are still acquired in ascending shard order (the global lock
+	// order), just skipping the gaps.
+	needed := make([]bool, len(c.shards))
+	any := false
+	for _, q := range queries {
+		if q.Hi < q.Lo {
+			continue
+		}
+		a, b := c.shardRange(q.Lo, q.Hi)
+		for i := a; i <= b; i++ {
+			needed[i] = true
+		}
+		any = true
+	}
+	if !any {
+		return results, nil // every query range is inverted
+	}
+	for i, n := range needed {
+		if n {
+			c.shards[i].mu.RLock()
+		}
+	}
+	defer func() {
+		for i, n := range needed {
+			if n {
+				c.shards[i].mu.RUnlock()
+			}
+		}
+	}()
+
+	answer := func(sc *queryScratch[K], q Query[K], r *xrand.RNG) []K {
+		if q.Hi < q.Lo {
+			return nil
+		}
+		out, err := c.sampleLocked(sc, nil, q.Lo, q.Hi, q.T, r)
+		if err != nil {
+			return nil // only ErrEmptyRange reaches here
+		}
+		return out
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if totalT < parallelQueryMin || workers < 2 {
+		sc := c.getScratch()
+		defer c.putScratch(sc)
+		for i, q := range queries {
+			results[i] = answer(sc, q, rng)
+		}
+		return results, nil
+	}
+
+	// Contiguous blocks of queries per worker; RNG streams split up front
+	// so the partitioning is deterministic for a fixed rng state.
+	rngs := make([]*xrand.RNG, workers)
+	for w := range rngs {
+		rngs[w] = rng.Split()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(queries) * w / workers
+		hi := len(queries) * (w + 1) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int, r *xrand.RNG) {
+			defer wg.Done()
+			sc := c.getScratch()
+			defer c.putScratch(sc)
+			for i := lo; i < hi; i++ {
+				results[i] = answer(sc, queries[i], r)
+			}
+		}(lo, hi, rngs[w])
+	}
+	wg.Wait()
+	return results, nil
+}

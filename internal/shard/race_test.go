@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// The race suite hammers one Concurrent from many goroutines at once —
+// point writers, batch writers, samplers, batch samplers, counters, and an
+// explicit rebalancer — and asserts the two properties that must survive
+// any interleaving: no returned sample ever falls outside its queried
+// range (or the stable key set), and after all writers join, the counts
+// are exactly consistent with what was written. Run under -race (as CI
+// does) this also proves the locking protocol has no data races.
+
+const (
+	// The base population [0, baseMax] is loaded before the test and never
+	// deleted, so readers can assert sample membership in a stable set.
+	baseMax = 100_000
+	// Writers operate on disjoint key blocks far above the base population,
+	// so reader assertions and writer bookkeeping never interfere.
+	writerBase  = 1_000_000
+	writerBlock = 10_000
+)
+
+func TestConcurrentReadersWritersRace(t *testing.T) {
+	rng := xrand.New(211)
+	base := make([]float64, 0, baseMax/2)
+	for i := 0; i < baseMax/2; i++ {
+		base = append(base, rng.Float64Range(0, baseMax))
+	}
+	c := New[float64](8)
+	c.InsertBatch(base)
+
+	const (
+		writers = 4
+		readers = 4
+		iters   = 300
+	)
+	var wrote atomic.Int64
+	var wg sync.WaitGroup
+
+	// Point writers: insert a private block, delete half of it, tracking
+	// the exact net contribution.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := float64(writerBase + w*writerBlock)
+			for i := 0; i < iters; i++ {
+				k := lo + float64(i)
+				c.Insert(k)
+				c.Insert(k + 0.5)
+				// The block is private to this goroutine, so deleting a key
+				// it just inserted must always succeed.
+				if !c.Delete(k + 0.5) {
+					t.Errorf("writer %d lost its own key %g", w, k+0.5)
+					return
+				}
+				wrote.Add(1)
+			}
+		}(w)
+	}
+
+	// One batch writer: repeated InsertBatch/DeleteBatch of its own block,
+	// ending with a known residue.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lo := float64(writerBase + writers*writerBlock)
+		batch := make([]float64, 64)
+		for i := 0; i < iters/4; i++ {
+			for j := range batch {
+				batch[j] = lo + float64(i*len(batch)+j)
+			}
+			c.InsertBatch(batch)
+			if removed := c.DeleteBatch(batch[:32]); removed != 32 {
+				t.Errorf("batch writer: removed %d of its own 32 keys", removed)
+				return
+			}
+			wrote.Add(32)
+		}
+	}()
+
+	// Readers: point samples, batch samples, and counts over the stable
+	// base range. Every sample must be in range.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := xrand.New(1000 + uint64(r))
+			for i := 0; i < iters; i++ {
+				lo := rng.Float64Range(0, baseMax/2)
+				hi := lo + rng.Float64Range(0, baseMax/2)
+				out, err := c.Sample(lo, hi, 16, rng)
+				if err != nil {
+					continue // a momentarily empty slice of the base range
+				}
+				for _, k := range out {
+					if k < lo || k > hi {
+						t.Errorf("sample %g outside [%g, %g]", k, lo, hi)
+						return
+					}
+				}
+				if i%8 == 0 {
+					queries := []Query[float64]{
+						{Lo: 0, Hi: baseMax, T: 8},
+						{Lo: lo, Hi: hi, T: 8},
+					}
+					results, err := c.SampleMany(queries, rng)
+					if err != nil {
+						t.Errorf("SampleMany: %v", err)
+						return
+					}
+					for _, k := range results[0] {
+						if k < 0 || k > baseMax {
+							t.Errorf("batch sample %g outside base range", k)
+							return
+						}
+					}
+				}
+				if got := c.Count(0, baseMax); got < len(base) {
+					t.Errorf("base range count %d dropped below %d", got, len(base))
+					return
+				}
+			}
+		}(r)
+	}
+
+	// A rebalancer thrashing the topology while everyone else runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			c.Rebalance()
+		}
+	}()
+
+	wg.Wait()
+
+	// Quiescent consistency: every write is accounted for.
+	wantLen := len(base) + int(wrote.Load())
+	if c.Len() != wantLen {
+		t.Fatalf("final Len = %d, want %d", c.Len(), wantLen)
+	}
+	if got := c.Count(0, 2e6); got != wantLen {
+		t.Fatalf("final full-range count = %d, want %d", got, wantLen)
+	}
+	if got := c.Count(0, baseMax); got != len(base) {
+		t.Fatalf("final base count = %d, want %d", got, len(base))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Len != wantLen {
+		t.Fatalf("stats len = %d, want %d", st.Len, wantLen)
+	}
+}
+
+// TestConcurrentAutoRebalanceRace grows a structure from empty with many
+// concurrent point writers, forcing automatic topology changes to overlap
+// live traffic.
+func TestConcurrentAutoRebalanceRace(t *testing.T) {
+	c := New[int](8)
+	const (
+		writers = 8
+		perW    = 3000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(3000 + w))
+			for i := 0; i < perW; i++ {
+				c.Insert(w*perW + i)
+				if i%16 == 0 {
+					if out, err := c.Sample(0, writers*perW, 4, rng); err == nil {
+						for _, k := range out {
+							if k < 0 || k >= writers*perW {
+								t.Errorf("sample %d out of bounds", k)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != writers*perW {
+		t.Fatalf("Len = %d, want %d", c.Len(), writers*perW)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() < 2 {
+		t.Fatalf("no shard growth under %d inserts", writers*perW)
+	}
+}

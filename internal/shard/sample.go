@@ -1,0 +1,222 @@
+package shard
+
+import (
+	"cmp"
+	"runtime"
+	"sync"
+
+	"github.com/irsgo/irs/internal/alias"
+	"github.com/irsgo/irs/internal/chunks"
+	"github.com/irsgo/irs/internal/core"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// parallelSampleMin is the per-query sample count above which the per-shard
+// sampling stage fans out across goroutines. Below it, goroutine start-up
+// costs more than the O(1)-per-sample work it would parallelize.
+const parallelSampleMin = 4096
+
+// queryScratch is the per-query working set, pooled so steady-state queries
+// allocate only their output. Each in-flight query owns one exclusively.
+type queryScratch[K cmp.Ordered] struct {
+	run     chunks.Run[K] // rejection-sampling scratch for one shard at a time
+	builder alias.Builder
+	table   alias.Table
+	counts  []int     // in-range count per overlapping shard
+	weights []float64 // nonzero counts, alias table input
+	nonzero []int     // overlapping-shard index per alias column
+	tally   []int     // samples allocated per overlapping shard
+	starts  []int     // block segment boundaries (tally prefix sums)
+	choice  []int32   // drawn overlapping-shard index per sample position
+	block   []K       // per-shard sample blocks, concatenated
+}
+
+func (c *Concurrent[K]) getScratch() *queryScratch[K] {
+	if sc, ok := c.scratch.Get().(*queryScratch[K]); ok {
+		return sc
+	}
+	return &queryScratch[K]{}
+}
+
+func (c *Concurrent[K]) putScratch(sc *queryScratch[K]) { c.scratch.Put(sc) }
+
+// Sample returns t independent uniform samples from [lo, hi].
+// Safe to call concurrently with any other method; rng must be owned by the
+// calling goroutine. Expected O(P + log n + t) with P the shard count.
+func (c *Concurrent[K]) Sample(lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
+	return c.SampleAppend(nil, lo, hi, t, rng)
+}
+
+// SampleAppend is Sample appending into dst.
+func (c *Concurrent[K]) SampleAppend(dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
+	if t < 0 {
+		return dst, core.ErrInvalidCount
+	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	if hi < lo {
+		if t == 0 {
+			return dst, nil
+		}
+		return dst, core.ErrEmptyRange
+	}
+	sa, sb := c.shardRange(lo, hi)
+	c.rlockShards(sa, sb)
+	defer c.runlockShards(sa, sb)
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	return c.sampleLocked(sc, dst, lo, hi, t, rng)
+}
+
+// sampleLocked draws t uniform samples from [lo, hi] into dst. The caller
+// must hold topoMu shared and the read locks of every shard overlapping
+// [lo, hi] (with lo <= hi), and must own sc and rng.
+func (c *Concurrent[K]) sampleLocked(sc *queryScratch[K], dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
+	if t < 0 {
+		return dst, core.ErrInvalidCount
+	}
+	sa, sb := c.shardRange(lo, hi)
+
+	// Stage 1: per-shard in-range counts, one consistent snapshot under the
+	// held locks.
+	sc.counts = sc.counts[:0]
+	total := 0
+	for i := sa; i <= sb; i++ {
+		n := c.shards[i].dyn.Count(lo, hi)
+		sc.counts = append(sc.counts, n)
+		total += n
+	}
+	if total == 0 {
+		if t == 0 {
+			return dst, nil
+		}
+		return dst, core.ErrEmptyRange
+	}
+	if t == 0 {
+		return dst, nil
+	}
+
+	// Single populated shard: no split to draw.
+	if nz := firstNonzero(sc.counts); sc.counts[nz] == total {
+		return c.shards[sa+nz].dyn.SampleRunAppend(&sc.run, dst, lo, hi, t, rng)
+	}
+
+	// Stage 2: multinomial split. Build an alias table over the nonzero
+	// counts (zero-count shards are excluded up front so no rounding edge
+	// can ever select an empty shard) and draw the shard of each sample
+	// position with probability count/total.
+	sc.weights = sc.weights[:0]
+	sc.nonzero = sc.nonzero[:0]
+	for i, n := range sc.counts {
+		if n > 0 {
+			sc.weights = append(sc.weights, float64(n))
+			sc.nonzero = append(sc.nonzero, i)
+		}
+	}
+	if err := sc.builder.Build(&sc.table, sc.weights); err != nil {
+		return dst, err // unreachable: weights are positive and finite
+	}
+	m := len(sc.weights)
+	sc.tally = resizeInts(sc.tally, m)
+	sc.choice = resizeInt32s(sc.choice, t)
+	for j := 0; j < t; j++ {
+		k := sc.table.Draw(rng)
+		sc.choice[j] = int32(k)
+		sc.tally[k]++
+	}
+
+	// Stage 3: per-shard sampling into one block, each shard's samples in a
+	// contiguous segment starting at its tally prefix sum.
+	if cap(sc.block) < t {
+		sc.block = make([]K, t)
+	}
+	block := sc.block[:t]
+	off := sc.tally // reused as running offsets in the scatter stage
+	sc.starts = resizeInts(sc.starts, m+1)
+	starts := sc.starts
+	for k := 0; k < m; k++ {
+		starts[k+1] = starts[k] + sc.tally[k]
+	}
+	if t >= parallelSampleMin && m > 1 && runtime.GOMAXPROCS(0) > 1 {
+		c.sampleShardsParallel(sc, block, starts, lo, hi, sa, rng)
+	} else {
+		for k := 0; k < m; k++ {
+			want := starts[k+1] - starts[k]
+			if want == 0 {
+				continue
+			}
+			seg := block[starts[k]:starts[k]:starts[k+1]]
+			sh := c.shards[sa+sc.nonzero[k]]
+			if _, err := sh.dyn.SampleRunAppend(&sc.run, seg, lo, hi, want, rng); err != nil {
+				return dst, err // unreachable: count was positive under lock
+			}
+		}
+	}
+
+	// Stage 4: scatter the per-shard blocks back into draw order. Within a
+	// shard the samples are i.i.d., so handing them out in block order to
+	// the positions that drew that shard preserves exact uniformity and
+	// independence across the t output positions.
+	for k := 0; k < m; k++ {
+		off[k] = starts[k]
+	}
+	for j := 0; j < t; j++ {
+		k := sc.choice[j]
+		dst = append(dst, block[off[k]])
+		off[k]++
+	}
+	return dst, nil
+}
+
+// sampleShardsParallel runs the per-shard sampling stage on one goroutine
+// per populated shard. RNG streams are derived with Split in shard order
+// before the fan-out, so results are deterministic for a fixed rng state
+// (though different from the sequential path's stream usage).
+func (c *Concurrent[K]) sampleShardsParallel(sc *queryScratch[K], block []K, starts []int, lo, hi K, sa int, rng *xrand.RNG) {
+	m := len(starts) - 1
+	var wg sync.WaitGroup
+	for k := 0; k < m; k++ {
+		want := starts[k+1] - starts[k]
+		if want == 0 {
+			continue
+		}
+		seg := block[starts[k]:starts[k]:starts[k+1]]
+		sh := c.shards[sa+sc.nonzero[k]]
+		sub := rng.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var run chunks.Run[K]
+			_, _ = sh.dyn.SampleRunAppend(&run, seg, lo, hi, want, sub)
+		}()
+	}
+	wg.Wait()
+}
+
+// firstNonzero returns the index of the first nonzero count, or 0.
+func firstNonzero(counts []int) int {
+	for i, n := range counts {
+		if n > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

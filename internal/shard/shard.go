@@ -1,0 +1,469 @@
+// Package shard implements the sharded, concurrency-safe dynamic IRS layer
+// exported as irs.Concurrent: the bridge between the single-threaded
+// structures of Hu–Qiao–Tao (PODS 2014) and a server that must absorb
+// concurrent inserts, deletes, and sampling queries on many cores.
+//
+// # Design
+//
+// The key space is partitioned by P-1 split points into P contiguous
+// shards: shard i owns the half-open key interval [splits[i-1], splits[i]),
+// with splits[-1] = -inf and splits[P-1] = +inf, so every key routes to
+// exactly one shard (keys equal to a split point route right). Each shard
+// wraps its own core.Dynamic behind its own sync.RWMutex, so updates to
+// disjoint shards proceed in parallel and readers of one shard never block
+// readers of another. Split points are learned from the data (equi-depth
+// over a sorted load) and re-learned by Rebalance, which is also triggered
+// automatically when a shard grows far beyond its fair share or when the
+// structure has grown enough to deserve more shards.
+//
+// # Sampling across shards
+//
+// A query (lo, hi, t) must return t samples that are exactly uniform over
+// the union of the overlapping shards' range contents — uniformity must not
+// be distorted by the partition. The query therefore proceeds in two
+// stages, holding the read locks of every overlapping shard for its whole
+// duration so the counts and the draws see one consistent snapshot:
+//
+//  1. Count. Each overlapping shard reports its in-range count c_i in
+//     O(log n) time; the total is C = Σ c_i.
+//  2. Multinomial split. The t samples are distributed over shards by
+//     drawing, for each sample, a shard with probability c_i/C — a
+//     multinomial (t; c_1/C, …, c_m/C) allocation realized in O(1) per
+//     draw by a Walker alias table (internal/alias) built over the nonzero
+//     counts. Each shard then draws its allocated samples independently
+//     (expected O(1) per sample, internal/chunks rejection sampling), and
+//     the per-shard outputs are scattered back into the positions whose
+//     draws selected that shard. Conditioned on the shard choice a sample
+//     is uniform over that shard's range slice, and the shard choice is
+//     proportional to the slice size, so every sample is uniform over the
+//     whole range and samples remain mutually independent.
+//
+// For large t the per-shard sampling stage fans out across goroutines,
+// each with an independent RNG stream derived by Split; the fan-out changes
+// only wall-clock time, not the distribution.
+//
+// # Locking
+//
+// Two lock levels, always acquired in the same order: the topology lock
+// (an RWMutex guarding the split points and the shard directory) is taken
+// shared by every operation and exclusively by Rebalance; then shard locks
+// are taken in ascending shard order. Readers take shard read locks —
+// queries never mutate a shard because sampling runs through caller-owned
+// scratch (core.Dynamic.SampleRunAppend) — and writers take shard write
+// locks. The batch entry points (InsertBatch, SampleMany) acquire each
+// involved shard lock once per batch rather than once per element, which
+// is where the concurrent layer's throughput on hot paths comes from.
+package shard
+
+import (
+	"cmp"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/irsgo/irs/internal/core"
+)
+
+// Tuning constants for the automatic rebalance policy. They only affect
+// performance, never correctness: any split layout yields exact uniformity.
+const (
+	// minShardKeys is the target minimum occupancy before the structure
+	// grows toward its target shard count: with fewer than minShardKeys
+	// keys per shard, extra shards cost more in fan-out than they buy in
+	// parallelism.
+	minShardKeys = 2048
+	// imbalanceFactor triggers a rebalance when one shard holds more than
+	// imbalanceFactor times its fair share of the keys.
+	imbalanceFactor = 4
+	// imbalanceSlack keeps tiny structures from rebalancing on noise.
+	imbalanceSlack = 512
+)
+
+// Concurrent is a sharded, concurrency-safe dynamic IRS structure. All
+// methods may be called from any number of goroutines simultaneously; the
+// only non-shareable argument is the *xrand.RNG passed to sampling calls,
+// which each goroutine must own (derive per-goroutine streams with Split).
+type Concurrent[K cmp.Ordered] struct {
+	// topoMu guards splits and shards (the topology). Every operation
+	// holds it shared; Rebalance holds it exclusively, which also grants
+	// exclusive access to every shard without taking the shard locks.
+	topoMu sync.RWMutex
+	splits []K              // len(shards)-1 sorted split points
+	shards []*shardState[K] // len >= 1, in key order
+
+	total       atomic.Int64 // total stored keys (maintained under shard locks)
+	target      int          // desired shard count once the data warrants it
+	fixedSplits bool         // NewFromSplits: never rebalance automatically
+	rebalancing atomic.Bool  // single-flight guard for automatic rebalances
+	rebalanceN  atomic.Int64 // total size at the last rebalance (rate limiter)
+	scratch     sync.Pool    // *queryScratch[K]
+}
+
+var _ core.Sampler[int] = (*Concurrent[int])(nil)
+
+// shardState is one shard: a dynamic IRS structure behind its own lock.
+type shardState[K cmp.Ordered] struct {
+	mu  sync.RWMutex
+	dyn *core.Dynamic[K]
+	n   atomic.Int64 // mirror of dyn.Len(), readable without mu
+}
+
+// New returns an empty Concurrent that will grow toward target shards as
+// data arrives (split points are learned by the automatic rebalance once
+// shards fill up). target < 1 is treated as 1.
+func New[K cmp.Ordered](target int) *Concurrent[K] {
+	if target < 1 {
+		target = 1
+	}
+	c := &Concurrent[K]{target: target}
+	c.shards = []*shardState[K]{{dyn: core.NewDynamic[K]()}}
+	return c
+}
+
+// NewFromSorted bulk-loads a Concurrent from sorted keys, learning
+// equi-depth split points so each of the (up to) shards shards starts with
+// an equal share of the data. Returns core.ErrUnsorted on unsorted input.
+func NewFromSorted[K cmp.Ordered](keys []K, shards int) (*Concurrent[K], error) {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return nil, core.ErrUnsorted
+		}
+	}
+	c := New[K](shards)
+	c.rebuildFromSorted(keys, shards)
+	return c, nil
+}
+
+// NewFromSplits returns an empty Concurrent with len(splits)+1 shards and
+// fixed routing at the given sorted split points: the layout is never
+// changed automatically (no auto-rebalance), so duplicated split points
+// produce permanently empty middle shards, and an intentionally skewed
+// layout stays put. An explicit Rebalance call is the one exception — it
+// abandons the fixed layout for learned equi-depth splits. Returns
+// core.ErrUnsorted if splits are not in non-decreasing order.
+func NewFromSplits[K cmp.Ordered](splits []K) (*Concurrent[K], error) {
+	for i := 1; i < len(splits); i++ {
+		if splits[i-1] > splits[i] {
+			return nil, core.ErrUnsorted
+		}
+	}
+	c := New[K](len(splits) + 1)
+	c.fixedSplits = true
+	c.splits = append([]K(nil), splits...)
+	c.shards = make([]*shardState[K], len(splits)+1)
+	for i := range c.shards {
+		c.shards[i] = &shardState[K]{dyn: core.NewDynamic[K]()}
+	}
+	return c, nil
+}
+
+// route returns the index of the shard owning key. Callers must hold
+// topoMu (shared or exclusive).
+func (c *Concurrent[K]) route(key K) int {
+	// First split strictly greater than key; keys equal to a split route
+	// to the shard on its right.
+	return sort.Search(len(c.splits), func(i int) bool { return key < c.splits[i] })
+}
+
+// shardRange returns the inclusive shard index interval overlapping
+// [lo, hi]. Callers must hold topoMu.
+func (c *Concurrent[K]) shardRange(lo, hi K) (int, int) {
+	return c.route(lo), c.route(hi)
+}
+
+// Insert adds key (duplicates allowed). Only the owning shard is locked.
+func (c *Concurrent[K]) Insert(key K) {
+	c.topoMu.RLock()
+	sh := c.shards[c.route(key)]
+	sh.mu.Lock()
+	sh.dyn.Insert(key)
+	sh.n.Add(1)
+	sh.mu.Unlock()
+	c.total.Add(1)
+	grow := c.wantRebalance(sh)
+	c.topoMu.RUnlock()
+	if grow {
+		c.maybeRebalance()
+	}
+}
+
+// Delete removes one occurrence of key, reporting whether one existed.
+func (c *Concurrent[K]) Delete(key K) bool {
+	c.topoMu.RLock()
+	sh := c.shards[c.route(key)]
+	sh.mu.Lock()
+	ok := sh.dyn.Delete(key)
+	if ok {
+		sh.n.Add(-1)
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.total.Add(-1)
+	}
+	c.topoMu.RUnlock()
+	return ok
+}
+
+// Len returns the number of stored keys. It is maintained atomically, so a
+// read concurrent with updates returns the count as of some recent moment.
+func (c *Concurrent[K]) Len() int { return int(c.total.Load()) }
+
+// Shards returns the current number of shards.
+func (c *Concurrent[K]) Shards() int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return len(c.shards)
+}
+
+// Contains reports whether key is stored at least once.
+func (c *Concurrent[K]) Contains(key K) bool {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	sh := c.shards[c.route(key)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.dyn.Contains(key)
+}
+
+// Count returns the number of keys in [lo, hi]. All overlapping shards are
+// read-locked together, so the result is a consistent snapshot.
+func (c *Concurrent[K]) Count(lo, hi K) int {
+	if hi < lo {
+		return 0
+	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	sa, sb := c.shardRange(lo, hi)
+	c.rlockShards(sa, sb)
+	defer c.runlockShards(sa, sb)
+	total := 0
+	for i := sa; i <= sb; i++ {
+		total += c.shards[i].dyn.Count(lo, hi)
+	}
+	return total
+}
+
+// AppendRange appends all keys in [lo, hi] in sorted order (shards are
+// contiguous key intervals, so per-shard sorted output concatenates to a
+// globally sorted result).
+func (c *Concurrent[K]) AppendRange(dst []K, lo, hi K) []K {
+	if hi < lo {
+		return dst
+	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	sa, sb := c.shardRange(lo, hi)
+	c.rlockShards(sa, sb)
+	defer c.runlockShards(sa, sb)
+	for i := sa; i <= sb; i++ {
+		dst = c.shards[i].dyn.AppendRange(dst, lo, hi)
+	}
+	return dst
+}
+
+// rlockShards read-locks shards sa..sb inclusive, in ascending order (the
+// global lock order; see the package comment).
+func (c *Concurrent[K]) rlockShards(sa, sb int) {
+	for i := sa; i <= sb; i++ {
+		c.shards[i].mu.RLock()
+	}
+}
+
+func (c *Concurrent[K]) runlockShards(sa, sb int) {
+	for i := sa; i <= sb; i++ {
+		c.shards[i].mu.RUnlock()
+	}
+}
+
+// wantRebalance reports whether the shard just touched justifies re-learning
+// the topology. Callers must hold topoMu shared; the check is a few atomic
+// loads, cheap enough for the insert hot path.
+func (c *Concurrent[K]) wantRebalance(sh *shardState[K]) bool {
+	if c.fixedSplits {
+		return false
+	}
+	total := c.total.Load()
+	p := int64(len(c.shards))
+	if desired := c.desiredShards(total); desired > len(c.shards) {
+		return true
+	}
+	if sh.n.Load() <= imbalanceFactor*(total/p)+imbalanceSlack {
+		return false
+	}
+	// Rate limiter: an imbalance a rebalance cannot fix (e.g. one giant run
+	// of duplicate keys that no split point can separate) must not trigger
+	// an O(n) rebuild per insert. Require the structure to have changed by
+	// a constant fraction since the last rebalance, which amortizes the
+	// rebuild cost to O(1) per update.
+	last := c.rebalanceN.Load()
+	diff := total - last
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff >= last/4+imbalanceSlack
+}
+
+// desiredShards returns how many shards a structure of n keys should use:
+// grow toward the target only once shards would hold minShardKeys each.
+func (c *Concurrent[K]) desiredShards(n int64) int {
+	d := int(n / minShardKeys)
+	if d < 1 {
+		d = 1
+	}
+	if d > c.target {
+		d = c.target
+	}
+	return d
+}
+
+// maybeRebalance runs Rebalance unless another goroutine already is.
+func (c *Concurrent[K]) maybeRebalance() {
+	if !c.rebalancing.CompareAndSwap(false, true) {
+		return
+	}
+	defer c.rebalancing.Store(false)
+	c.Rebalance()
+}
+
+// Rebalance re-learns equi-depth split points from the current contents and
+// redistributes the keys. The shard count grows toward the target as the
+// data warrants (see desiredShards) and never shrinks below its current
+// value (except when there are fewer keys than shards), so an explicitly
+// requested layout is preserved. It takes the
+// topology lock exclusively, so it serializes with every other operation;
+// cost is O(n). Calling it is never required for correctness — routing
+// stays exact under any split layout — only for balance.
+func (c *Concurrent[K]) Rebalance() {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	// An explicit rebalance on a fixed-splits structure abandons the fixed
+	// layout and opts into the managed (auto-rebalancing) policy.
+	c.fixedSplits = false
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.dyn.Len()
+	}
+	keys := make([]K, 0, n)
+	for _, sh := range c.shards {
+		// Shards are contiguous key intervals in order, so concatenating
+		// their sorted contents is globally sorted.
+		keys = sh.dyn.AppendKeys(keys)
+	}
+	p := c.desiredShards(int64(n))
+	if p < len(c.shards) {
+		p = len(c.shards)
+	}
+	c.rebuildFromSorted(keys, p)
+}
+
+// rebuildFromSorted replaces the whole topology with p equi-depth shards
+// over the given sorted keys. Callers must hold topoMu exclusively (or be
+// a constructor with no concurrent access).
+func (c *Concurrent[K]) rebuildFromSorted(keys []K, p int) {
+	n := len(keys)
+	if p < 1 {
+		p = 1
+	}
+	if p > n && n > 0 {
+		p = n
+	}
+	if n == 0 {
+		p = 1
+	}
+	c.splits = c.splits[:0]
+	c.shards = c.shards[:0]
+	start := 0
+	for i := 0; i < p; i++ {
+		end := (n * (i + 1)) / p
+		if i < p-1 {
+			// The split point is the first key of the next shard; keys equal
+			// to a split route right, so duplicates of keys[end] must not
+			// stay in this shard. Retreat end past the duplicate run.
+			split := keys[end]
+			for end > start && keys[end-1] == split {
+				end--
+			}
+			c.splits = append(c.splits, split)
+		} else {
+			end = n
+		}
+		dyn, err := core.NewDynamicFromSorted(keys[start:end])
+		if err != nil {
+			panic("shard: sorted segment rejected: " + err.Error())
+		}
+		sh := &shardState[K]{dyn: dyn}
+		sh.n.Store(int64(end - start))
+		c.shards = append(c.shards, sh)
+		start = end
+	}
+	c.total.Store(int64(n))
+	c.rebalanceN.Store(int64(n))
+}
+
+// Stats describes the current topology, for monitoring and tests.
+type Stats struct {
+	Len      int   // total stored keys
+	Shards   int   // shard count
+	PerShard []int // keys per shard, in key order
+}
+
+// Stats returns a consistent snapshot of the topology.
+func (c *Concurrent[K]) Stats() Stats {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	c.rlockShards(0, len(c.shards)-1)
+	defer c.runlockShards(0, len(c.shards)-1)
+	st := Stats{Shards: len(c.shards), PerShard: make([]int, len(c.shards))}
+	for i, sh := range c.shards {
+		st.PerShard[i] = sh.dyn.Len()
+		st.Len += st.PerShard[i]
+	}
+	return st
+}
+
+// Validate checks every invariant: per-shard structural invariants, key
+// ownership (every key lies inside its shard's interval), and counter
+// consistency. O(n); intended for tests.
+func (c *Concurrent[K]) Validate() error {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	c.rlockShards(0, len(c.shards)-1)
+	defer c.runlockShards(0, len(c.shards)-1)
+	if len(c.shards) != len(c.splits)+1 {
+		return errValidate("shard/split count mismatch")
+	}
+	for i := 1; i < len(c.splits); i++ {
+		if c.splits[i-1] > c.splits[i] {
+			return errValidate("splits out of order")
+		}
+	}
+	total := 0
+	for i, sh := range c.shards {
+		if err := sh.dyn.Validate(); err != nil {
+			return err
+		}
+		n := sh.dyn.Len()
+		if int64(n) != sh.n.Load() {
+			return errValidate("shard length counter out of sync")
+		}
+		total += n
+		if n == 0 {
+			continue
+		}
+		first, last := sh.dyn.SelectRank(0), sh.dyn.SelectRank(n-1)
+		if i > 0 && first < c.splits[i-1] {
+			return errValidate("key below shard lower bound")
+		}
+		if i < len(c.splits) && !(last < c.splits[i]) {
+			return errValidate("key at or above shard upper bound")
+		}
+	}
+	if int64(total) != c.total.Load() {
+		return errValidate("total length counter out of sync")
+	}
+	return nil
+}
+
+type errValidate string
+
+func (e errValidate) Error() string { return "shard: " + string(e) }

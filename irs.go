@@ -19,6 +19,10 @@
 //     plus O(log n + t) sampling without replacement (Floyd's algorithm).
 //   - Dynamic: the paper's dynamic structure; O(n) space, O(log n)
 //     amortized Insert/Delete, O(log n + t) expected query.
+//   - Concurrent: the sharded, concurrency-safe layer over Dynamic —
+//     contiguous key-space shards behind per-shard reader/writer locks,
+//     cross-shard queries split by an exact multinomial, and batch entry
+//     points (InsertBatch, SampleMany) that amortize lock acquisition.
 //   - TreapSampler, ReportSampler: the classical baselines (rank-select at
 //     O(log n) per sample; report-then-sample at O(|range|) per query),
 //     provided for comparison and for applications with tiny ranges.
@@ -26,12 +30,25 @@
 //     WeightedNaiveCDF: the weighted extension — samples drawn with
 //     probability proportional to per-key weights (see weighted.go).
 //
-// # Randomness
+// # Randomness and concurrency
 //
 // Every sampling method takes an explicit *RNG. Deterministic seeding makes
-// experiments reproducible; giving each goroutine its own RNG makes the
-// immutable structures safe for concurrent readers. None of the dynamic
-// structures may be mutated concurrently with any other access.
+// experiments reproducible, and statistical tests can replay exact streams.
+// An *RNG must never be shared between goroutines; derive an independent
+// per-goroutine stream with RNG.Split.
+//
+// The concurrency contract has three tiers:
+//
+//   - Static and the other immutable structures are safe for any number of
+//     concurrent readers, each using its own RNG.
+//   - Dynamic, TreapSampler, ReportSampler, and the weighted samplers are
+//     single-writer, zero-reader during mutation: no access of any kind may
+//     run concurrently with an Insert or Delete.
+//   - Concurrent is fully thread-safe: inserts, deletes, counts, and
+//     sampling queries may all run simultaneously from any number of
+//     goroutines, and its statistical guarantees (per-sample uniformity,
+//     independence) hold for every value returned under any interleaving,
+//     because each query counts and draws against one locked snapshot.
 //
 // Example:
 //
