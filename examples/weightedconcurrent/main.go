@@ -1,0 +1,178 @@
+// WeightedConcurrent: priority-weighted log sampling while the data changes
+// under heavy parallel traffic — the weighted production shape of the IRS
+// problem.
+//
+// A WeightedConcurrent sampler shards the key space across per-shard locks
+// like Concurrent, but every stored key carries a weight and queries return
+// keys with probability proportional to weight; cross-shard queries split
+// their samples proportionally to per-shard range *weight*, so the
+// partition never distorts the distribution. This demo runs a small "log
+// triage service": ingest goroutines stream timestamped log events whose
+// weights encode severity (errors drown out debug lines), a priority
+// goroutine escalates and decays weights live with UpdateWeight, and query
+// goroutines concurrently draw severity-biased samples over arbitrary time
+// windows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	irs "github.com/irsgo/irs"
+)
+
+// Severity weights: sampling 1000x prefers an error over a debug line.
+var sevWeight = []float64{1, 10, 100, 1000} // debug, info, warn, error
+
+func main() {
+	rng := irs.NewRNG(42)
+
+	// Seed the service with an initial event population: keys are
+	// timestamps (seconds), weights encode severity.
+	initial := make([]irs.WeightedItem[float64], 150_000)
+	for i := range initial {
+		initial[i] = event(rng, 0)
+	}
+	c, err := irs.NewWeightedConcurrentFromItems(initial, 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := c.Stats()
+	fmt.Printf("loaded %d events across %d shards %v\n", st.Len, st.Shards, st.PerShard)
+
+	const (
+		ingesters  = 4
+		queriers   = 4
+		perBatch   = 1_000
+		batches    = 20
+		perQuerier = 150
+		horizon    = 86_400.0 // one day of timestamps
+	)
+	var sampled atomic.Int64
+	var wg sync.WaitGroup
+
+	// Ingest: each goroutine streams batches of fresh events. InsertBatch
+	// validates weights up front and write-locks each involved shard once
+	// per batch, not once per event.
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(wrng *irs.RNG) {
+			defer wg.Done()
+			batch := make([]irs.WeightedItem[float64], perBatch)
+			for b := 0; b < batches; b++ {
+				for i := range batch {
+					batch[i] = event(wrng, 0)
+				}
+				if err := c.InsertBatch(batch); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(rng.Split())
+	}
+
+	// Priority churn: escalate random recent events to error weight and
+	// decay others, concurrently with everything else.
+	wg.Add(1)
+	go func(urng *irs.RNG) {
+		defer wg.Done()
+		for i := 0; i < 2_000; i++ {
+			ts := initial[urng.Intn(len(initial))].Key
+			w := sevWeight[urng.Intn(len(sevWeight))]
+			if _, err := c.UpdateWeight(ts, w); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}(rng.Split())
+
+	// Query: each goroutine batches windows per round with SampleMany; all
+	// windows in a batch are answered against one consistent snapshot.
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(qrng *irs.RNG) {
+			defer wg.Done()
+			queries := []irs.ConcurrentQuery[float64]{
+				{Lo: 0, Hi: horizon / 4, T: 64},       // the early window
+				{Lo: horizon / 4, Hi: horizon, T: 64}, // the rest of the day
+				{Lo: 0, Hi: horizon, T: 256},          // everything
+			}
+			for round := 0; round < perQuerier; round++ {
+				results, err := c.SampleMany(queries, qrng)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for i, out := range results {
+					q := queries[i]
+					for _, ts := range out {
+						if ts < q.Lo || ts > q.Hi {
+							log.Fatalf("sample %.3f escaped [%.0f, %.0f]", ts, q.Lo, q.Hi)
+						}
+					}
+					sampled.Add(int64(len(out)))
+				}
+			}
+		}(rng.Split())
+	}
+
+	wg.Wait()
+
+	total := len(initial) + ingesters*batches*perBatch
+	fmt.Printf("ingested %d events while drawing %d weighted samples concurrently\n",
+		total-len(initial), sampled.Load())
+	if c.Len() != total {
+		log.Fatalf("lost data: Len = %d, want %d", c.Len(), total)
+	}
+
+	// Verify the severity bias end to end: errors carry ~1000x a debug
+	// line's weight, so the sampled error share must match the exact
+	// weight share, not the count share.
+	items := c.AppendItems(nil)
+	countShare := 0.0
+	weightShare := 0.0
+	totalW := 0.0
+	for _, it := range items {
+		totalW += it.Weight
+		if it.Weight >= sevWeight[3] {
+			weightShare += it.Weight
+			countShare++
+		}
+	}
+	countShare /= float64(len(items))
+	weightShare /= totalW
+
+	est, err := c.Sample(0, horizon, 20_000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errors := 0
+	for _, ts := range est {
+		if c.TotalWeight(ts, ts) >= sevWeight[3] {
+			errors++
+		}
+	}
+	fmt.Printf("error-severity share: %.1f%% of events, %.1f%% of weight, %.1f%% of samples\n",
+		100*countShare, 100*weightShare, 100*float64(errors)/float64(len(est)))
+
+	st = c.Stats()
+	fmt.Printf("final topology: %d events across %d shards %v\n", st.Len, st.Shards, st.PerShard)
+}
+
+// event draws a synthetic log event: a timestamp in [base, base+86400) and
+// a severity weight (mostly debug/info, occasionally warn/error).
+func event(rng *irs.RNG, base float64) irs.WeightedItem[float64] {
+	sev := 0
+	switch {
+	case rng.Bernoulli(0.02):
+		sev = 3
+	case rng.Bernoulli(0.08):
+		sev = 2
+	case rng.Bernoulli(0.4):
+		sev = 1
+	}
+	return irs.WeightedItem[float64]{
+		Key:    base + rng.Float64Range(0, 86_400),
+		Weight: sevWeight[sev],
+	}
+}

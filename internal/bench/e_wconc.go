@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/irsgo/irs/internal/shard"
+	"github.com/irsgo/irs/internal/weighted"
+	"github.com/irsgo/irs/internal/workload"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// E17 — the weighted concurrent sampler (WeightedConcurrent over the
+// backend-generic shard engine). Three claims are measured:
+//
+//  1. Single-thread overhead: the weighted sharded layer must cost only a
+//     small constant over the WeightedTreap it wraps, and the weighted-vs-
+//     unweighted gap must stay near the treap-vs-chunked-list gap (the
+//     engine itself adds the same routing/lock/multinomial work to both).
+//  2. Multi-core scaling: aggregate SampleMany throughput with live writer
+//     and weight-updater churn must grow with client goroutines when
+//     sharded, while the single-shard configuration stalls.
+//  3. Batch amortization: InsertBatch must beat point Insert per key by a
+//     widening factor as the batch grows, because each involved shard lock
+//     is taken once per batch.
+func runE17(cfg Config) ([]*Table, error) {
+	n := cfg.scaled(500_000, 50_000)
+	rng := xrand.New(cfg.Seed + 19)
+	keys := workload.Keys(workload.Uniform, n, rng)
+	zw := workload.ZipfWeights(n, 1.1, rng)
+	items := make([]weighted.Item[float64], n)
+	for i := range items {
+		items[i] = weighted.Item[float64]{Key: keys[i], Weight: zw[i]}
+	}
+	ranges := workload.RangesWithSelectivity(keys, querySel, 64, rng)
+	const t = 64
+
+	// --- Table 1: single-thread overhead, weighted vs unweighted ---------
+	overhead := &Table{
+		Title:   fmt.Sprintf("E17a — Single-thread weighted query cost, n=%s, t=%d, Zipf(1.1) weights, selectivity 1%%", fmtCount(n), t),
+		Columns: []string{"sampler", "ns/query", "vs WeightedTreap"},
+		Notes: []string{"Claim: the sharded weighted layer adds only constant overhead per query",
+			"(routing + lock + per-shard range weights + mass-proportional multinomial),",
+			"mirroring what E16a shows for the unweighted engine instantiation."},
+	}
+	tre, err := weighted.NewTreapFromItems(cfg.Seed+20, items)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]float64, 0, t)
+	treNS := queryNS(cfg, ranges, func(r workload.Range) {
+		buf = buf[:0]
+		buf, _ = tre.SampleAppend(buf, r.Lo, r.Hi, t, rng)
+	})
+	overhead.AddRow("WeightedTreap", fmtNS(treNS), "1.00x")
+	for _, p := range []int{1, 8} {
+		wc, err := shard.NewWeightedFromItems(items, p, cfg.Seed+21)
+		if err != nil {
+			return nil, err
+		}
+		ns := queryNS(cfg, ranges, func(r workload.Range) {
+			buf = buf[:0]
+			buf, _ = wc.SampleAppend(buf, r.Lo, r.Hi, t, rng)
+		})
+		overhead.AddRow(fmt.Sprintf("WeightedConcurrent/%d shard(s)", p),
+			fmtNS(ns), fmt.Sprintf("%.2fx", ns/treNS))
+	}
+	// The unweighted engine instantiation on the same keys anchors the
+	// weighted-vs-unweighted overhead.
+	sorted := append([]float64(nil), keys...)
+	slices.Sort(sorted)
+	uc, err := shard.NewFromSorted(sorted, 8)
+	if err != nil {
+		return nil, err
+	}
+	ucNS := queryNS(cfg, ranges, func(r workload.Range) {
+		buf = buf[:0]
+		buf, _ = uc.SampleAppend(buf, r.Lo, r.Hi, t, rng)
+	})
+	overhead.AddRow("Concurrent/8 shard(s) (unweighted)", fmtNS(ucNS), fmt.Sprintf("%.2fx", ucNS/treNS))
+
+	// --- Table 2: multi-core SampleMany throughput under churn -----------
+	procs := runtime.GOMAXPROCS(0)
+	scaling := &Table{
+		Title: fmt.Sprintf("E17b — Weighted SampleMany throughput vs clients, n=%s, background writer + weight updater, GOMAXPROCS=%d",
+			fmtCount(n), procs),
+		Columns: []string{"clients", "shards=1 q/s", fmt.Sprintf("shards=%d q/s", shardCount(procs)), "speedup"},
+		Notes: []string{"Claim: sharding converts writer and weight-update pressure from a global",
+			"stall into a 1/P stall; aggregate weighted read throughput scales with cores.",
+			"(speedup = sharded / single-shard at the same client count)"},
+	}
+	window := cfg.minDur()
+	if window < 50*time.Millisecond {
+		window = 50 * time.Millisecond
+	}
+	for clients := 1; clients <= procs || clients == 1; clients *= 2 {
+		single := weightedConcThroughput(items, keys, 1, clients, t, window, cfg.Seed+22)
+		sharded := weightedConcThroughput(items, keys, shardCount(procs), clients, t, window, cfg.Seed+23)
+		scaling.AddRow(fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%.0f", single), fmt.Sprintf("%.0f", sharded),
+			fmt.Sprintf("%.2fx", sharded/single))
+		if clients >= procs {
+			break
+		}
+	}
+
+	// --- Table 3: batch amortization --------------------------------------
+	amort := &Table{
+		Title:   fmt.Sprintf("E17c — Weighted insert batch amortization, %d-shard structure preloaded with n=%s", shardCount(procs), fmtCount(n)),
+		Columns: []string{"batch size", "ns/key", "vs point Insert"},
+		Notes: []string{"Claim: InsertBatch sorts once and write-locks each involved shard once per",
+			"batch, so the per-key cost falls as the batch grows."},
+	}
+	var pointNS float64
+	for _, batch := range []int{1, 16, 256, 4096} {
+		wc, err := shard.NewWeightedFromItems(items, shardCount(procs), cfg.Seed+24)
+		if err != nil {
+			return nil, err
+		}
+		brng := xrand.New(cfg.Seed + 25)
+		block := make([]weighted.Item[float64], batch)
+		fill := func() {
+			for j := range block {
+				block[j] = weighted.Item[float64]{Key: brng.Float64Range(0, 1e9), Weight: 1 + brng.Float64()}
+			}
+		}
+		var ns float64
+		if batch == 1 {
+			ns = measure(cfg.minDur(), func(iters int) {
+				for i := 0; i < iters; i++ {
+					fill()
+					if err := wc.Insert(block[0].Key, block[0].Weight); err != nil {
+						panic(err)
+					}
+				}
+			})
+			pointNS = ns
+		} else {
+			ns = measure(cfg.minDur(), func(iters int) {
+				for i := 0; i < iters; i++ {
+					fill()
+					if err := wc.InsertBatch(block); err != nil {
+						panic(err)
+					}
+				}
+			}) / float64(batch)
+		}
+		amort.AddRow(fmt.Sprintf("%d", batch), fmtNS(ns), fmt.Sprintf("%.2fx", ns/pointNS))
+	}
+
+	return []*Table{overhead, scaling, amort}, nil
+}
+
+// weightedConcThroughput runs `clients` goroutines issuing SampleMany
+// batches (16 queries x t samples) against a WeightedConcurrent with p
+// shards while one writer goroutine applies continuous InsertBatch/
+// DeleteBatch churn and one updater cycles weights, returning aggregate
+// queries/second over the window.
+func weightedConcThroughput(items []weighted.Item[float64], keys []float64, p, clients, t int, window time.Duration, seed uint64) float64 {
+	wc, err := shard.NewWeightedFromItems(items, p, seed)
+	if err != nil {
+		panic(err)
+	}
+	rng := xrand.New(seed)
+	ranges := workload.RangesWithSelectivity(keys, querySel, 256, rng)
+
+	var stop atomic.Bool
+	var queries atomic.Int64
+	var wg sync.WaitGroup
+
+	// Background writer: steady insert/delete churn of its own key block.
+	wrng := rng.Split()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]weighted.Item[float64], 256)
+		dels := make([]float64, 256)
+		for !stop.Load() {
+			for i := range batch {
+				k := wrng.Float64Range(2e9, 3e9)
+				batch[i] = weighted.Item[float64]{Key: k, Weight: 1 + wrng.Float64()}
+				dels[i] = k
+			}
+			if err := wc.InsertBatch(batch); err != nil {
+				panic(err)
+			}
+			wc.DeleteBatch(dels)
+		}
+	}()
+
+	// Background weight updater over a small resident block.
+	resident := make([]weighted.Item[float64], 512)
+	for i := range resident {
+		resident[i] = weighted.Item[float64]{Key: 3e9 + float64(i), Weight: 1}
+	}
+	if err := wc.InsertBatch(resident); err != nil {
+		panic(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for !stop.Load() {
+			it := resident[i%len(resident)]
+			if _, err := wc.UpdateWeight(it.Key, 1+float64(i%7)); err != nil {
+				panic(err)
+			}
+			i++
+		}
+	}()
+
+	const batchQ = 16
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(grng *xrand.RNG) {
+			defer wg.Done()
+			qs := make([]shard.Query[float64], batchQ)
+			for !stop.Load() {
+				for i := range qs {
+					r := ranges[int(grng.Uint64n(uint64(len(ranges))))]
+					qs[i] = shard.Query[float64]{Lo: r.Lo, Hi: r.Hi, T: t}
+				}
+				if _, err := wc.SampleMany(qs, grng); err != nil {
+					panic(err)
+				}
+				queries.Add(batchQ)
+			}
+		}(rng.Split())
+	}
+
+	start := time.Now()
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(queries.Load()) / elapsed
+}

@@ -44,7 +44,9 @@ var (
 )
 
 // Sampler is the common interface of every dynamic IRS implementation in
-// this package. Static implements the query side only.
+// this package. Static implements the query side only. The sharded
+// concurrent layer (internal/shard) also conforms, so call sites can swap
+// the single-threaded structures for the concurrent one without change.
 type Sampler[K cmp.Ordered] interface {
 	// Insert adds a key (duplicates allowed).
 	Insert(key K)

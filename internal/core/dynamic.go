@@ -119,9 +119,11 @@ func (d *Dynamic[K]) SampleAppend(dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K
 // instead of the receiver's internal scratch. Because the underlying chunked
 // list is never mutated by a query, any number of goroutines may call
 // SampleRunAppend on the same Dynamic concurrently — each with its own run
-// and RNG — provided no update runs at the same time. The sharded concurrent
-// layer (internal/shard) relies on this to serve readers under a shared
-// (non-exclusive) lock.
+// and RNG — provided no update runs at the same time. This is the read-only
+// sampling entry point the shard.Backend contract requires: the sharded
+// concurrent layer (internal/shard) relies on it to serve readers under a
+// shared (non-exclusive) lock, with weighted.Treap.SampleRunAppend as its
+// weighted counterpart.
 func (d *Dynamic[K]) SampleRunAppend(run *chunks.Run[K], dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
 	if err := sampleArgsErr(t); err != nil {
 		return dst, err

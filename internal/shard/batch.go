@@ -15,27 +15,27 @@ import (
 // above which queries are answered by a pool of worker goroutines.
 const parallelQueryMin = parallelSampleMin
 
-// InsertBatch adds every key in keys (duplicates allowed). The batch is
-// sorted once, segmented by shard, and each involved shard is write-locked
-// exactly once — the lock-amortization hot path for heavy insert traffic.
-// The input slice is not retained or modified.
-func (c *Concurrent[K]) InsertBatch(keys []K) {
-	if len(keys) == 0 {
+// InsertBatch adds every item in items (duplicate keys allowed). The batch
+// is sorted once, segmented by shard, and each involved shard is
+// write-locked exactly once — the lock-amortization hot path for heavy
+// insert traffic. The input slice is not retained or modified.
+func (c *engine[K, I, B]) InsertBatch(items []I) {
+	if len(items) == 0 {
 		return
 	}
-	own := append([]K(nil), keys...)
-	slices.Sort(own)
+	own := append([]I(nil), items...)
+	c.ops.sortItems(own)
 
 	c.topoMu.RLock()
 	grow := false
-	c.forEachSegment(own, func(sh *shardState[K], seg []K) {
+	segments(c, own, c.ops.keyOf, func(sh *shardState[K, I, B], seg []I) {
 		sh.mu.Lock()
-		for _, k := range seg {
-			sh.dyn.Insert(k)
+		for _, it := range seg {
+			sh.b.Insert(it)
 		}
 		sh.n.Add(int64(len(seg)))
-		sh.mu.Unlock()
 		c.total.Add(int64(len(seg)))
+		sh.mu.Unlock()
 		grow = grow || c.wantRebalance(sh)
 	})
 	c.topoMu.RUnlock()
@@ -46,7 +46,7 @@ func (c *Concurrent[K]) InsertBatch(keys []K) {
 
 // DeleteBatch removes one occurrence of each key in keys, returning how
 // many were present and removed. Locking mirrors InsertBatch.
-func (c *Concurrent[K]) DeleteBatch(keys []K) int {
+func (c *engine[K, I, B]) DeleteBatch(keys []K) int {
 	if len(keys) == 0 {
 		return 0
 	}
@@ -55,26 +55,29 @@ func (c *Concurrent[K]) DeleteBatch(keys []K) int {
 
 	removed := 0
 	c.topoMu.RLock()
-	c.forEachSegment(own, func(sh *shardState[K], seg []K) {
+	segments(c, own, func(k K) K { return k }, func(sh *shardState[K, I, B], seg []K) {
 		sh.mu.Lock()
 		got := 0
 		for _, k := range seg {
-			if sh.dyn.Delete(k) {
+			if sh.b.Delete(k) {
 				got++
 			}
 		}
 		sh.n.Add(int64(-got))
-		sh.mu.Unlock()
 		c.total.Add(int64(-got))
+		sh.mu.Unlock()
 		removed += got
 	})
 	c.topoMu.RUnlock()
 	return removed
 }
 
-// forEachSegment splits the sorted keys into per-shard runs and invokes fn
-// once per non-empty run, in shard order. Callers must hold topoMu shared.
-func (c *Concurrent[K]) forEachSegment(sorted []K, fn func(sh *shardState[K], seg []K)) {
+// segments splits the key-sorted slice into per-shard runs and invokes fn
+// once per non-empty run, in shard order. It is a free function so one body
+// serves both item batches (keyOf = c.ops.keyOf) and bare key batches
+// (keyOf = identity) — DeleteBatch routes by key regardless of the
+// backend's item type. Callers must hold topoMu shared.
+func segments[K cmp.Ordered, I any, B Backend[K, I], T any](c *engine[K, I, B], sorted []T, keyOf func(T) K, fn func(sh *shardState[K, I, B], seg []T)) {
 	start := 0
 	for s := 0; s < len(c.shards) && start < len(sorted); s++ {
 		end := len(sorted)
@@ -83,7 +86,7 @@ func (c *Concurrent[K]) forEachSegment(sorted []K, fn func(sh *shardState[K], se
 			// right), so its run ends at the first key >= splits[s].
 			split := c.splits[s]
 			end = start + sort.Search(len(sorted)-start, func(i int) bool {
-				return sorted[start+i] >= split
+				return !(keyOf(sorted[start+i]) < split)
 			})
 		}
 		if end > start {
@@ -106,13 +109,14 @@ type Query[K cmp.Ordered] struct {
 // touches stay unlocked, so unrelated writers are never stalled.
 //
 // results[i] holds the samples of queries[i]. A query over an empty range
-// yields a nil slice rather than failing the batch; a negative T fails the
-// whole batch with core.ErrInvalidCount before any sampling happens.
+// (or, for weighted backends, a range whose total weight is zero) yields a
+// nil slice rather than failing the batch; a negative T fails the whole
+// batch with core.ErrInvalidCount before any sampling happens.
 //
 // For large batches (total samples >= a few thousand) the queries fan out
 // over min(GOMAXPROCS, len(queries)) worker goroutines, each drawing from
 // an independent RNG stream derived from rng by Split.
-func (c *Concurrent[K]) SampleMany(queries []Query[K], rng *xrand.RNG) ([][]K, error) {
+func (c *engine[K, I, B]) SampleMany(queries []Query[K], rng *xrand.RNG) ([][]K, error) {
 	totalT := 0
 	for _, q := range queries {
 		if q.T < 0 {
@@ -166,7 +170,7 @@ func (c *Concurrent[K]) SampleMany(queries []Query[K], rng *xrand.RNG) ([][]K, e
 		}
 		out, err := c.sampleLocked(sc, nil, q.Lo, q.Hi, q.T, r)
 		if err != nil {
-			return nil // only ErrEmptyRange reaches here
+			return nil // only empty-range/zero-mass errors reach here
 		}
 		return out
 	}

@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"github.com/irsgo/irs/internal/alias"
-	"github.com/irsgo/irs/internal/chunks"
 	"github.com/irsgo/irs/internal/core"
 	"github.com/irsgo/irs/internal/xrand"
 )
@@ -19,11 +18,12 @@ const parallelSampleMin = 4096
 // queryScratch is the per-query working set, pooled so steady-state queries
 // allocate only their output. Each in-flight query owns one exclusively.
 type queryScratch[K cmp.Ordered] struct {
-	run     chunks.Run[K] // rejection-sampling scratch for one shard at a time
+	run     Run // backend sampling scratch for one shard at a time (lazily created)
 	builder alias.Builder
 	table   alias.Table
 	counts  []int     // in-range count per overlapping shard
-	weights []float64 // nonzero counts, alias table input
+	masses  []float64 // in-range sampling mass per overlapping shard
+	weights []float64 // nonzero masses, alias table input
 	nonzero []int     // overlapping-shard index per alias column
 	tally   []int     // samples allocated per overlapping shard
 	starts  []int     // block segment boundaries (tally prefix sums)
@@ -31,24 +31,26 @@ type queryScratch[K cmp.Ordered] struct {
 	block   []K       // per-shard sample blocks, concatenated
 }
 
-func (c *Concurrent[K]) getScratch() *queryScratch[K] {
+func (c *engine[K, I, B]) getScratch() *queryScratch[K] {
 	if sc, ok := c.scratch.Get().(*queryScratch[K]); ok {
 		return sc
 	}
-	return &queryScratch[K]{}
+	return &queryScratch[K]{run: c.ops.newRun()}
 }
 
-func (c *Concurrent[K]) putScratch(sc *queryScratch[K]) { c.scratch.Put(sc) }
+func (c *engine[K, I, B]) putScratch(sc *queryScratch[K]) { c.scratch.Put(sc) }
 
-// Sample returns t independent uniform samples from [lo, hi].
-// Safe to call concurrently with any other method; rng must be owned by the
-// calling goroutine. Expected O(P + log n + t) with P the shard count.
-func (c *Concurrent[K]) Sample(lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
+// Sample returns t independent mass-proportional samples from [lo, hi]
+// (uniform for the unweighted instantiation, weight-proportional for the
+// weighted one). Safe to call concurrently with any other method; rng must
+// be owned by the calling goroutine. Expected O(P + log n + t) with P the
+// shard count.
+func (c *engine[K, I, B]) Sample(lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
 	return c.SampleAppend(nil, lo, hi, t, rng)
 }
 
 // SampleAppend is Sample appending into dst.
-func (c *Concurrent[K]) SampleAppend(dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
+func (c *engine[K, I, B]) SampleAppend(dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
 	if t < 0 {
 		return dst, core.ErrInvalidCount
 	}
@@ -68,23 +70,27 @@ func (c *Concurrent[K]) SampleAppend(dst []K, lo, hi K, t int, rng *xrand.RNG) (
 	return c.sampleLocked(sc, dst, lo, hi, t, rng)
 }
 
-// sampleLocked draws t uniform samples from [lo, hi] into dst. The caller
-// must hold topoMu shared and the read locks of every shard overlapping
-// [lo, hi] (with lo <= hi), and must own sc and rng.
-func (c *Concurrent[K]) sampleLocked(sc *queryScratch[K], dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
+// sampleLocked draws t samples from [lo, hi] into dst. The caller must hold
+// topoMu shared and the read locks of every shard overlapping [lo, hi]
+// (with lo <= hi), and must own sc and rng.
+func (c *engine[K, I, B]) sampleLocked(sc *queryScratch[K], dst []K, lo, hi K, t int, rng *xrand.RNG) ([]K, error) {
 	if t < 0 {
 		return dst, core.ErrInvalidCount
 	}
 	sa, sb := c.shardRange(lo, hi)
 
-	// Stage 1: per-shard in-range counts, one consistent snapshot under the
-	// held locks.
+	// Stage 1: per-shard in-range counts and masses, one consistent
+	// snapshot under the held locks.
 	sc.counts = sc.counts[:0]
+	sc.masses = sc.masses[:0]
 	total := 0
+	totalMass := 0.0
 	for i := sa; i <= sb; i++ {
-		n := c.shards[i].dyn.Count(lo, hi)
+		n, m := c.shards[i].b.RangeStats(lo, hi)
 		sc.counts = append(sc.counts, n)
+		sc.masses = append(sc.masses, m)
 		total += n
+		totalMass += m
 	}
 	if total == 0 {
 		if t == 0 {
@@ -95,21 +101,25 @@ func (c *Concurrent[K]) sampleLocked(sc *queryScratch[K], dst []K, lo, hi K, t i
 	if t == 0 {
 		return dst, nil
 	}
+	if totalMass <= 0 {
+		// Keys exist but carry no sampling mass (weighted backends only).
+		return dst, c.ops.zeroMass
+	}
 
 	// Single populated shard: no split to draw.
 	if nz := firstNonzero(sc.counts); sc.counts[nz] == total {
-		return c.shards[sa+nz].dyn.SampleRunAppend(&sc.run, dst, lo, hi, t, rng)
+		return c.shards[sa+nz].b.SampleRunAppend(sc.run, dst, lo, hi, t, rng)
 	}
 
 	// Stage 2: multinomial split. Build an alias table over the nonzero
-	// counts (zero-count shards are excluded up front so no rounding edge
-	// can ever select an empty shard) and draw the shard of each sample
-	// position with probability count/total.
+	// masses (zero-mass shards are excluded up front so no rounding edge
+	// can ever select one) and draw the shard of each sample position with
+	// probability mass/totalMass.
 	sc.weights = sc.weights[:0]
 	sc.nonzero = sc.nonzero[:0]
-	for i, n := range sc.counts {
-		if n > 0 {
-			sc.weights = append(sc.weights, float64(n))
+	for i, m := range sc.masses {
+		if m > 0 {
+			sc.weights = append(sc.weights, m)
 			sc.nonzero = append(sc.nonzero, i)
 		}
 	}
@@ -147,16 +157,16 @@ func (c *Concurrent[K]) sampleLocked(sc *queryScratch[K], dst []K, lo, hi K, t i
 			}
 			seg := block[starts[k]:starts[k]:starts[k+1]]
 			sh := c.shards[sa+sc.nonzero[k]]
-			if _, err := sh.dyn.SampleRunAppend(&sc.run, seg, lo, hi, want, rng); err != nil {
-				return dst, err // unreachable: count was positive under lock
+			if _, err := sh.b.SampleRunAppend(sc.run, seg, lo, hi, want, rng); err != nil {
+				return dst, err // unreachable: mass was positive under lock
 			}
 		}
 	}
 
 	// Stage 4: scatter the per-shard blocks back into draw order. Within a
 	// shard the samples are i.i.d., so handing them out in block order to
-	// the positions that drew that shard preserves exact uniformity and
-	// independence across the t output positions.
+	// the positions that drew that shard preserves the exact distribution
+	// and independence across the t output positions.
 	for k := 0; k < m; k++ {
 		off[k] = starts[k]
 	}
@@ -172,7 +182,7 @@ func (c *Concurrent[K]) sampleLocked(sc *queryScratch[K], dst []K, lo, hi K, t i
 // per populated shard. RNG streams are derived with Split in shard order
 // before the fan-out, so results are deterministic for a fixed rng state
 // (though different from the sequential path's stream usage).
-func (c *Concurrent[K]) sampleShardsParallel(sc *queryScratch[K], block []K, starts []int, lo, hi K, sa int, rng *xrand.RNG) {
+func (c *engine[K, I, B]) sampleShardsParallel(sc *queryScratch[K], block []K, starts []int, lo, hi K, sa int, rng *xrand.RNG) {
 	m := len(starts) - 1
 	var wg sync.WaitGroup
 	for k := 0; k < m; k++ {
@@ -186,8 +196,9 @@ func (c *Concurrent[K]) sampleShardsParallel(sc *queryScratch[K], block []K, sta
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var run chunks.Run[K]
-			_, _ = sh.dyn.SampleRunAppend(&run, seg, lo, hi, want, sub)
+			run := c.getRun()
+			_, _ = sh.b.SampleRunAppend(run, seg, lo, hi, want, sub)
+			c.putRun(run)
 		}()
 	}
 	wg.Wait()

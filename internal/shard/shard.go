@@ -1,15 +1,25 @@
 // Package shard implements the sharded, concurrency-safe dynamic IRS layer
-// exported as irs.Concurrent: the bridge between the single-threaded
-// structures of Hu–Qiao–Tao (PODS 2014) and a server that must absorb
-// concurrent inserts, deletes, and sampling queries on many cores.
+// exported as irs.Concurrent and irs.WeightedConcurrent: the bridge between
+// the single-threaded structures of Hu–Qiao–Tao (PODS 2014) — and their
+// weighted extensions — and a server that must absorb concurrent inserts,
+// deletes, and sampling queries on many cores.
 //
 // # Design
+//
+// The sharding machinery is a backend-generic engine: everything about
+// partitioning, locking, routing, rebalancing, and cross-shard sampling is
+// written once against the Backend interface (backend.go), and each
+// instantiation plugs in one single-threaded structure per shard. Two
+// instantiations are provided: Concurrent over core.Dynamic (unweighted,
+// every key has unit sampling mass) and WeightedConcurrent over
+// weighted.Treap (each key carries a weight; samples are drawn with
+// probability proportional to weight).
 //
 // The key space is partitioned by P-1 split points into P contiguous
 // shards: shard i owns the half-open key interval [splits[i-1], splits[i]),
 // with splits[-1] = -inf and splits[P-1] = +inf, so every key routes to
 // exactly one shard (keys equal to a split point route right). Each shard
-// wraps its own core.Dynamic behind its own sync.RWMutex, so updates to
+// wraps its own backend behind its own sync.RWMutex, so updates to
 // disjoint shards proceed in parallel and readers of one shard never block
 // readers of another. Split points are learned from the data (equi-depth
 // over a sorted load) and re-learned by Rebalance, which is also triggered
@@ -18,25 +28,29 @@
 //
 // # Sampling across shards
 //
-// A query (lo, hi, t) must return t samples that are exactly uniform over
-// the union of the overlapping shards' range contents — uniformity must not
-// be distorted by the partition. The query therefore proceeds in two
-// stages, holding the read locks of every overlapping shard for its whole
-// duration so the counts and the draws see one consistent snapshot:
+// A query (lo, hi, t) must return t samples that are exactly
+// mass-proportional over the union of the overlapping shards' range
+// contents — the distribution must not be distorted by the partition. The
+// query therefore proceeds in two stages, holding the read locks of every
+// overlapping shard for its whole duration so the stats and the draws see
+// one consistent snapshot:
 //
-//  1. Count. Each overlapping shard reports its in-range count c_i in
-//     O(log n) time; the total is C = Σ c_i.
+//  1. Mass. Each overlapping shard reports its in-range count and sampling
+//     mass m_i in O(log n) time (for the unweighted backend the mass is the
+//     key count; for the weighted backend it is the range's total weight);
+//     the total is M = Σ m_i.
 //  2. Multinomial split. The t samples are distributed over shards by
-//     drawing, for each sample, a shard with probability c_i/C — a
-//     multinomial (t; c_1/C, …, c_m/C) allocation realized in O(1) per
+//     drawing, for each sample, a shard with probability m_i/M — a
+//     multinomial (t; m_1/M, …, m_k/M) allocation realized in O(1) per
 //     draw by a Walker alias table (internal/alias) built over the nonzero
-//     counts. Each shard then draws its allocated samples independently
-//     (expected O(1) per sample, internal/chunks rejection sampling), and
-//     the per-shard outputs are scattered back into the positions whose
-//     draws selected that shard. Conditioned on the shard choice a sample
-//     is uniform over that shard's range slice, and the shard choice is
-//     proportional to the slice size, so every sample is uniform over the
-//     whole range and samples remain mutually independent.
+//     masses. Each shard then draws its allocated samples independently
+//     (read-only backend sampling through per-query scratch), and the
+//     per-shard outputs are scattered back into the positions whose draws
+//     selected that shard. Conditioned on the shard choice a sample is
+//     mass-proportional over that shard's range slice, and the shard choice
+//     is proportional to the slice's mass, so every sample follows the
+//     exact target distribution over the whole range and samples remain
+//     mutually independent.
 //
 // For large t the per-shard sampling stage fans out across goroutines,
 // each with an independent RNG stream derived by Split; the fan-out changes
@@ -48,11 +62,11 @@
 // (an RWMutex guarding the split points and the shard directory) is taken
 // shared by every operation and exclusively by Rebalance; then shard locks
 // are taken in ascending shard order. Readers take shard read locks —
-// queries never mutate a shard because sampling runs through caller-owned
-// scratch (core.Dynamic.SampleRunAppend) — and writers take shard write
-// locks. The batch entry points (InsertBatch, SampleMany) acquire each
-// involved shard lock once per batch rather than once per element, which
-// is where the concurrent layer's throughput on hot paths comes from.
+// queries never mutate a shard because backend sampling is read-only and
+// runs through caller-owned scratch — and writers take shard write locks.
+// The batch entry points (InsertBatch, SampleMany) acquire each involved
+// shard lock once per batch rather than once per element, which is where
+// the concurrent layer's throughput on hot paths comes from.
 package shard
 
 import (
@@ -60,12 +74,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-
-	"github.com/irsgo/irs/internal/core"
 )
 
 // Tuning constants for the automatic rebalance policy. They only affect
-// performance, never correctness: any split layout yields exact uniformity.
+// performance, never correctness: any split layout yields exact sampling.
 const (
 	// minShardKeys is the target minimum occupancy before the structure
 	// grows toward its target shard count: with fewer than minShardKeys
@@ -79,87 +91,79 @@ const (
 	imbalanceSlack = 512
 )
 
-// Concurrent is a sharded, concurrency-safe dynamic IRS structure. All
-// methods may be called from any number of goroutines simultaneously; the
-// only non-shareable argument is the *xrand.RNG passed to sampling calls,
-// which each goroutine must own (derive per-goroutine streams with Split).
-type Concurrent[K cmp.Ordered] struct {
+// engine is the backend-generic sharding engine. All methods may be called
+// from any number of goroutines simultaneously; the only non-shareable
+// argument is the *xrand.RNG passed to sampling calls, which each goroutine
+// must own (derive per-goroutine streams with Split). The exported
+// structures (Concurrent, WeightedConcurrent) embed an engine over their
+// backend type.
+type engine[K cmp.Ordered, I any, B Backend[K, I]] struct {
+	ops backendOps[K, I, B]
+
 	// topoMu guards splits and shards (the topology). Every operation
 	// holds it shared; Rebalance holds it exclusively, which also grants
 	// exclusive access to every shard without taking the shard locks.
 	topoMu sync.RWMutex
-	splits []K              // len(shards)-1 sorted split points
-	shards []*shardState[K] // len >= 1, in key order
+	splits []K                    // len(shards)-1 sorted split points
+	shards []*shardState[K, I, B] // len >= 1, in key order
 
-	total       atomic.Int64 // total stored keys (maintained under shard locks)
+	total       atomic.Int64 // total stored items (maintained under shard locks)
 	target      int          // desired shard count once the data warrants it
 	fixedSplits bool         // NewFromSplits: never rebalance automatically
 	rebalancing atomic.Bool  // single-flight guard for automatic rebalances
 	rebalanceN  atomic.Int64 // total size at the last rebalance (rate limiter)
 	scratch     sync.Pool    // *queryScratch[K]
+	runPool     sync.Pool    // Run, for the per-shard parallel fan-out
 }
 
-var _ core.Sampler[int] = (*Concurrent[int])(nil)
-
-// shardState is one shard: a dynamic IRS structure behind its own lock.
-type shardState[K cmp.Ordered] struct {
-	mu  sync.RWMutex
-	dyn *core.Dynamic[K]
-	n   atomic.Int64 // mirror of dyn.Len(), readable without mu
+// getRun and putRun pool backend sampling scratch for the parallel fan-out
+// goroutines, which cannot share the query's own scratch run.
+func (c *engine[K, I, B]) getRun() Run {
+	if r := c.runPool.Get(); r != nil {
+		return r
+	}
+	return c.ops.newRun()
 }
 
-// New returns an empty Concurrent that will grow toward target shards as
+func (c *engine[K, I, B]) putRun(r Run) { c.runPool.Put(r) }
+
+// shardState is one shard: a backend behind its own lock.
+type shardState[K cmp.Ordered, I any, B Backend[K, I]] struct {
+	mu sync.RWMutex
+	b  B
+	n  atomic.Int64 // mirror of b.Len(), readable without mu
+}
+
+// init prepares an empty engine that will grow toward target shards as
 // data arrives (split points are learned by the automatic rebalance once
 // shards fill up). target < 1 is treated as 1.
-func New[K cmp.Ordered](target int) *Concurrent[K] {
+func (c *engine[K, I, B]) init(ops backendOps[K, I, B], target int) {
 	if target < 1 {
 		target = 1
 	}
-	c := &Concurrent[K]{target: target}
-	c.shards = []*shardState[K]{{dyn: core.NewDynamic[K]()}}
-	return c
+	c.ops = ops
+	c.target = target
+	c.shards = []*shardState[K, I, B]{{b: ops.new()}}
 }
 
-// NewFromSorted bulk-loads a Concurrent from sorted keys, learning
-// equi-depth split points so each of the (up to) shards shards starts with
-// an equal share of the data. Returns core.ErrUnsorted on unsorted input.
-func NewFromSorted[K cmp.Ordered](keys []K, shards int) (*Concurrent[K], error) {
-	for i := 1; i < len(keys); i++ {
-		if keys[i-1] > keys[i] {
-			return nil, core.ErrUnsorted
-		}
-	}
-	c := New[K](shards)
-	c.rebuildFromSorted(keys, shards)
-	return c, nil
-}
-
-// NewFromSplits returns an empty Concurrent with len(splits)+1 shards and
-// fixed routing at the given sorted split points: the layout is never
-// changed automatically (no auto-rebalance), so duplicated split points
-// produce permanently empty middle shards, and an intentionally skewed
-// layout stays put. An explicit Rebalance call is the one exception — it
-// abandons the fixed layout for learned equi-depth splits. Returns
-// core.ErrUnsorted if splits are not in non-decreasing order.
-func NewFromSplits[K cmp.Ordered](splits []K) (*Concurrent[K], error) {
-	for i := 1; i < len(splits); i++ {
-		if splits[i-1] > splits[i] {
-			return nil, core.ErrUnsorted
-		}
-	}
-	c := New[K](len(splits) + 1)
+// applySplits pins the topology to len(splits)+1 empty shards with fixed
+// routing at the given sorted split points: the layout is never changed
+// automatically, so duplicated split points produce permanently empty
+// middle shards, and an intentionally skewed layout stays put. An explicit
+// Rebalance call is the one exception — it abandons the fixed layout for
+// learned equi-depth splits. Constructor-only (no concurrent access).
+func (c *engine[K, I, B]) applySplits(splits []K) {
 	c.fixedSplits = true
 	c.splits = append([]K(nil), splits...)
-	c.shards = make([]*shardState[K], len(splits)+1)
+	c.shards = make([]*shardState[K, I, B], len(splits)+1)
 	for i := range c.shards {
-		c.shards[i] = &shardState[K]{dyn: core.NewDynamic[K]()}
+		c.shards[i] = &shardState[K, I, B]{b: c.ops.new()}
 	}
-	return c, nil
 }
 
 // route returns the index of the shard owning key. Callers must hold
 // topoMu (shared or exclusive).
-func (c *Concurrent[K]) route(key K) int {
+func (c *engine[K, I, B]) route(key K) int {
 	// First split strictly greater than key; keys equal to a split route
 	// to the shard on its right.
 	return sort.Search(len(c.splits), func(i int) bool { return key < c.splits[i] })
@@ -167,19 +171,23 @@ func (c *Concurrent[K]) route(key K) int {
 
 // shardRange returns the inclusive shard index interval overlapping
 // [lo, hi]. Callers must hold topoMu.
-func (c *Concurrent[K]) shardRange(lo, hi K) (int, int) {
+func (c *engine[K, I, B]) shardRange(lo, hi K) (int, int) {
 	return c.route(lo), c.route(hi)
 }
 
-// Insert adds key (duplicates allowed). Only the owning shard is locked.
-func (c *Concurrent[K]) Insert(key K) {
+// Insert adds item (duplicate keys allowed). Only the owning shard is
+// locked.
+func (c *engine[K, I, B]) Insert(item I) {
+	key := c.ops.keyOf(item)
 	c.topoMu.RLock()
 	sh := c.shards[c.route(key)]
 	sh.mu.Lock()
-	sh.dyn.Insert(key)
+	sh.b.Insert(item)
 	sh.n.Add(1)
-	sh.mu.Unlock()
+	// total moves before the shard unlock so that anyone holding every
+	// shard lock (Validate, Stats) sees per-shard sums and the total agree.
 	c.total.Add(1)
+	sh.mu.Unlock()
 	grow := c.wantRebalance(sh)
 	c.topoMu.RUnlock()
 	if grow {
@@ -188,46 +196,44 @@ func (c *Concurrent[K]) Insert(key K) {
 }
 
 // Delete removes one occurrence of key, reporting whether one existed.
-func (c *Concurrent[K]) Delete(key K) bool {
+func (c *engine[K, I, B]) Delete(key K) bool {
 	c.topoMu.RLock()
 	sh := c.shards[c.route(key)]
 	sh.mu.Lock()
-	ok := sh.dyn.Delete(key)
+	ok := sh.b.Delete(key)
 	if ok {
 		sh.n.Add(-1)
-	}
-	sh.mu.Unlock()
-	if ok {
 		c.total.Add(-1)
 	}
+	sh.mu.Unlock()
 	c.topoMu.RUnlock()
 	return ok
 }
 
-// Len returns the number of stored keys. It is maintained atomically, so a
+// Len returns the number of stored items. It is maintained atomically, so a
 // read concurrent with updates returns the count as of some recent moment.
-func (c *Concurrent[K]) Len() int { return int(c.total.Load()) }
+func (c *engine[K, I, B]) Len() int { return int(c.total.Load()) }
 
 // Shards returns the current number of shards.
-func (c *Concurrent[K]) Shards() int {
+func (c *engine[K, I, B]) Shards() int {
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
 	return len(c.shards)
 }
 
 // Contains reports whether key is stored at least once.
-func (c *Concurrent[K]) Contains(key K) bool {
+func (c *engine[K, I, B]) Contains(key K) bool {
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
 	sh := c.shards[c.route(key)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.dyn.Contains(key)
+	return sh.b.Contains(key)
 }
 
 // Count returns the number of keys in [lo, hi]. All overlapping shards are
 // read-locked together, so the result is a consistent snapshot.
-func (c *Concurrent[K]) Count(lo, hi K) int {
+func (c *engine[K, I, B]) Count(lo, hi K) int {
 	if hi < lo {
 		return 0
 	}
@@ -238,7 +244,7 @@ func (c *Concurrent[K]) Count(lo, hi K) int {
 	defer c.runlockShards(sa, sb)
 	total := 0
 	for i := sa; i <= sb; i++ {
-		total += c.shards[i].dyn.Count(lo, hi)
+		total += c.shards[i].b.Count(lo, hi)
 	}
 	return total
 }
@@ -246,7 +252,7 @@ func (c *Concurrent[K]) Count(lo, hi K) int {
 // AppendRange appends all keys in [lo, hi] in sorted order (shards are
 // contiguous key intervals, so per-shard sorted output concatenates to a
 // globally sorted result).
-func (c *Concurrent[K]) AppendRange(dst []K, lo, hi K) []K {
+func (c *engine[K, I, B]) AppendRange(dst []K, lo, hi K) []K {
 	if hi < lo {
 		return dst
 	}
@@ -256,20 +262,20 @@ func (c *Concurrent[K]) AppendRange(dst []K, lo, hi K) []K {
 	c.rlockShards(sa, sb)
 	defer c.runlockShards(sa, sb)
 	for i := sa; i <= sb; i++ {
-		dst = c.shards[i].dyn.AppendRange(dst, lo, hi)
+		dst = c.shards[i].b.AppendRange(dst, lo, hi)
 	}
 	return dst
 }
 
 // rlockShards read-locks shards sa..sb inclusive, in ascending order (the
 // global lock order; see the package comment).
-func (c *Concurrent[K]) rlockShards(sa, sb int) {
+func (c *engine[K, I, B]) rlockShards(sa, sb int) {
 	for i := sa; i <= sb; i++ {
 		c.shards[i].mu.RLock()
 	}
 }
 
-func (c *Concurrent[K]) runlockShards(sa, sb int) {
+func (c *engine[K, I, B]) runlockShards(sa, sb int) {
 	for i := sa; i <= sb; i++ {
 		c.shards[i].mu.RUnlock()
 	}
@@ -278,7 +284,7 @@ func (c *Concurrent[K]) runlockShards(sa, sb int) {
 // wantRebalance reports whether the shard just touched justifies re-learning
 // the topology. Callers must hold topoMu shared; the check is a few atomic
 // loads, cheap enough for the insert hot path.
-func (c *Concurrent[K]) wantRebalance(sh *shardState[K]) bool {
+func (c *engine[K, I, B]) wantRebalance(sh *shardState[K, I, B]) bool {
 	if c.fixedSplits {
 		return false
 	}
@@ -305,7 +311,7 @@ func (c *Concurrent[K]) wantRebalance(sh *shardState[K]) bool {
 
 // desiredShards returns how many shards a structure of n keys should use:
 // grow toward the target only once shards would hold minShardKeys each.
-func (c *Concurrent[K]) desiredShards(n int64) int {
+func (c *engine[K, I, B]) desiredShards(n int64) int {
 	d := int(n / minShardKeys)
 	if d < 1 {
 		d = 1
@@ -317,7 +323,7 @@ func (c *Concurrent[K]) desiredShards(n int64) int {
 }
 
 // maybeRebalance runs Rebalance unless another goroutine already is.
-func (c *Concurrent[K]) maybeRebalance() {
+func (c *engine[K, I, B]) maybeRebalance() {
 	if !c.rebalancing.CompareAndSwap(false, true) {
 		return
 	}
@@ -326,14 +332,14 @@ func (c *Concurrent[K]) maybeRebalance() {
 }
 
 // Rebalance re-learns equi-depth split points from the current contents and
-// redistributes the keys. The shard count grows toward the target as the
+// redistributes the items. The shard count grows toward the target as the
 // data warrants (see desiredShards) and never shrinks below its current
 // value (except when there are fewer keys than shards), so an explicitly
 // requested layout is preserved. It takes the
 // topology lock exclusively, so it serializes with every other operation;
 // cost is O(n). Calling it is never required for correctness — routing
 // stays exact under any split layout — only for balance.
-func (c *Concurrent[K]) Rebalance() {
+func (c *engine[K, I, B]) Rebalance() {
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
 	// An explicit rebalance on a fixed-splits structure abandons the fixed
@@ -341,26 +347,26 @@ func (c *Concurrent[K]) Rebalance() {
 	c.fixedSplits = false
 	n := 0
 	for _, sh := range c.shards {
-		n += sh.dyn.Len()
+		n += sh.b.Len()
 	}
-	keys := make([]K, 0, n)
+	items := make([]I, 0, n)
 	for _, sh := range c.shards {
 		// Shards are contiguous key intervals in order, so concatenating
-		// their sorted contents is globally sorted.
-		keys = sh.dyn.AppendKeys(keys)
+		// their key-ordered contents is globally sorted.
+		items = sh.b.AppendItems(items)
 	}
 	p := c.desiredShards(int64(n))
 	if p < len(c.shards) {
 		p = len(c.shards)
 	}
-	c.rebuildFromSorted(keys, p)
+	c.rebuildFromSorted(items, p)
 }
 
 // rebuildFromSorted replaces the whole topology with p equi-depth shards
-// over the given sorted keys. Callers must hold topoMu exclusively (or be
-// a constructor with no concurrent access).
-func (c *Concurrent[K]) rebuildFromSorted(keys []K, p int) {
-	n := len(keys)
+// over the given key-sorted items. Callers must hold topoMu exclusively (or
+// be a constructor with no concurrent access).
+func (c *engine[K, I, B]) rebuildFromSorted(items []I, p int) {
+	n := len(items)
 	if p < 1 {
 		p = 1
 	}
@@ -377,21 +383,17 @@ func (c *Concurrent[K]) rebuildFromSorted(keys []K, p int) {
 		end := (n * (i + 1)) / p
 		if i < p-1 {
 			// The split point is the first key of the next shard; keys equal
-			// to a split route right, so duplicates of keys[end] must not
+			// to a split route right, so duplicates of that key must not
 			// stay in this shard. Retreat end past the duplicate run.
-			split := keys[end]
-			for end > start && keys[end-1] == split {
+			split := c.ops.keyOf(items[end])
+			for end > start && c.ops.keyOf(items[end-1]) == split {
 				end--
 			}
 			c.splits = append(c.splits, split)
 		} else {
 			end = n
 		}
-		dyn, err := core.NewDynamicFromSorted(keys[start:end])
-		if err != nil {
-			panic("shard: sorted segment rejected: " + err.Error())
-		}
-		sh := &shardState[K]{dyn: dyn}
+		sh := &shardState[K, I, B]{b: c.ops.fromSorted(items[start:end])}
 		sh.n.Store(int64(end - start))
 		c.shards = append(c.shards, sh)
 		start = end
@@ -408,14 +410,14 @@ type Stats struct {
 }
 
 // Stats returns a consistent snapshot of the topology.
-func (c *Concurrent[K]) Stats() Stats {
+func (c *engine[K, I, B]) Stats() Stats {
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
 	c.rlockShards(0, len(c.shards)-1)
 	defer c.runlockShards(0, len(c.shards)-1)
 	st := Stats{Shards: len(c.shards), PerShard: make([]int, len(c.shards))}
 	for i, sh := range c.shards {
-		st.PerShard[i] = sh.dyn.Len()
+		st.PerShard[i] = sh.b.Len()
 		st.Len += st.PerShard[i]
 	}
 	return st
@@ -424,7 +426,7 @@ func (c *Concurrent[K]) Stats() Stats {
 // Validate checks every invariant: per-shard structural invariants, key
 // ownership (every key lies inside its shard's interval), and counter
 // consistency. O(n); intended for tests.
-func (c *Concurrent[K]) Validate() error {
+func (c *engine[K, I, B]) Validate() error {
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
 	c.rlockShards(0, len(c.shards)-1)
@@ -439,10 +441,10 @@ func (c *Concurrent[K]) Validate() error {
 	}
 	total := 0
 	for i, sh := range c.shards {
-		if err := sh.dyn.Validate(); err != nil {
+		if err := sh.b.Validate(); err != nil {
 			return err
 		}
-		n := sh.dyn.Len()
+		n := sh.b.Len()
 		if int64(n) != sh.n.Load() {
 			return errValidate("shard length counter out of sync")
 		}
@@ -450,7 +452,7 @@ func (c *Concurrent[K]) Validate() error {
 		if n == 0 {
 			continue
 		}
-		first, last := sh.dyn.SelectRank(0), sh.dyn.SelectRank(n-1)
+		first, last := sh.b.MinKey(), sh.b.MaxKey()
 		if i > 0 && first < c.splits[i-1] {
 			return errValidate("key below shard lower bound")
 		}

@@ -1,0 +1,290 @@
+package shard
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/irsgo/irs/internal/weighted"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// The weighted race suite hammers one WeightedConcurrent from many
+// goroutines at once — point writers, batch writers, weight updaters,
+// samplers, batch samplers, counters, and an explicit rebalancer — and
+// asserts what must survive any interleaving: no returned sample falls
+// outside its queried range, samples from the stable base always carry
+// positive weight, and after all writers join the counts and weight totals
+// are exactly consistent with what was written. Run under -race (as CI
+// does) this also proves the locking protocol has no data races.
+
+const (
+	// The base population lives in [0, wBaseMax] with fixed weights and is
+	// never touched by writers or updaters.
+	wBaseMax = 100_000
+	// Writers and updaters operate on disjoint key blocks far above the
+	// base population.
+	wWriterBase  = 1_000_000
+	wWriterBlock = 10_000
+)
+
+func TestWeightedConcurrentReadersWritersUpdatersRace(t *testing.T) {
+	rng := xrand.New(401)
+	base := make([]weighted.Item[float64], 0, wBaseMax/2)
+	baseW := 0.0
+	for i := 0; i < wBaseMax/2; i++ {
+		it := weighted.Item[float64]{
+			Key:    rng.Float64Range(0, wBaseMax),
+			Weight: rng.Float64Range(0.5, 2),
+		}
+		baseW += it.Weight
+		base = append(base, it)
+	}
+	wc := NewWeighted[float64](8, 402)
+	if err := wc.InsertBatch(base); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers  = 3
+		updaters = 2
+		readers  = 4
+		iters    = 300
+	)
+
+	// The updaters' blocks are inserted up front and never deleted; each
+	// updater cycles the weights of its own keys.
+	updaterItems := make([][]weighted.Item[float64], updaters)
+	for u := range updaterItems {
+		lo := float64(wWriterBase + (writers+1+u)*wWriterBlock)
+		items := make([]weighted.Item[float64], 256)
+		for i := range items {
+			items[i] = weighted.Item[float64]{Key: lo + float64(i), Weight: 1}
+		}
+		updaterItems[u] = items
+		if err := wc.InsertBatch(items); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wrote atomic.Int64
+	var wg sync.WaitGroup
+
+	// Point writers: insert a private block, delete half of it, tracking
+	// the exact net contribution.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := float64(wWriterBase + w*wWriterBlock)
+			for i := 0; i < iters; i++ {
+				k := lo + float64(i)
+				if err := wc.Insert(k, 2); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if err := wc.Insert(k+0.5, 3); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if !wc.Delete(k + 0.5) {
+					t.Errorf("writer %d lost its own key %g", w, k+0.5)
+					return
+				}
+				wrote.Add(1)
+			}
+		}(w)
+	}
+
+	// One batch writer with a known residue of zero.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lo := float64(wWriterBase + writers*wWriterBlock)
+		batch := make([]weighted.Item[float64], 64)
+		keys := make([]float64, len(batch))
+		for i := 0; i < iters/4; i++ {
+			for j := range batch {
+				k := lo + float64(i*len(batch)+j)
+				batch[j] = weighted.Item[float64]{Key: k, Weight: 0.5 + float64(j%3)}
+				keys[j] = k
+			}
+			if err := wc.InsertBatch(batch); err != nil {
+				t.Errorf("batch writer: %v", err)
+				return
+			}
+			if removed := wc.DeleteBatch(keys); removed != len(keys) {
+				t.Errorf("batch writer: removed %d of its own %d keys", removed, len(keys))
+				return
+			}
+		}
+	}()
+
+	// Weight updaters: cycle weights over their own permanently-present
+	// block; every update must find its key.
+	for u := 0; u < updaters; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			items := updaterItems[u]
+			for i := 0; i < iters; i++ {
+				it := items[i%len(items)]
+				ok, err := wc.UpdateWeight(it.Key, float64(1+i%5))
+				if err != nil || !ok {
+					t.Errorf("updater %d: UpdateWeight(%g) = %v, %v", u, it.Key, ok, err)
+					return
+				}
+			}
+		}(u)
+	}
+
+	// Readers: point samples, batch samples, counts, and weight totals over
+	// the stable base range.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := xrand.New(2000 + uint64(r))
+			for i := 0; i < iters; i++ {
+				lo := rng.Float64Range(0, wBaseMax/2)
+				hi := lo + rng.Float64Range(0, wBaseMax/2)
+				out, err := wc.Sample(lo, hi, 16, rng)
+				if err != nil {
+					continue // a momentarily empty slice of the base range
+				}
+				for _, k := range out {
+					if k < lo || k > hi {
+						t.Errorf("sample %g outside [%g, %g]", k, lo, hi)
+						return
+					}
+				}
+				if i%8 == 0 {
+					queries := []Query[float64]{
+						{Lo: 0, Hi: wBaseMax, T: 8},
+						{Lo: lo, Hi: hi, T: 8},
+					}
+					results, err := wc.SampleMany(queries, rng)
+					if err != nil {
+						t.Errorf("SampleMany: %v", err)
+						return
+					}
+					for _, k := range results[0] {
+						if k < 0 || k > wBaseMax {
+							t.Errorf("batch sample %g outside base range", k)
+							return
+						}
+					}
+				}
+				if got := wc.Count(0, wBaseMax); got < len(base) {
+					t.Errorf("base range count %d dropped below %d", got, len(base))
+					return
+				}
+				if got := wc.TotalWeight(0, wBaseMax); got < 0.99*baseW {
+					t.Errorf("base range weight %g dropped below %g", got, baseW)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// A rebalancer thrashing the topology while everyone else runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			wc.Rebalance()
+		}
+	}()
+
+	wg.Wait()
+
+	// Quiescent consistency: every write is accounted for.
+	wantLen := len(base) + updaters*256 + int(wrote.Load())
+	if wc.Len() != wantLen {
+		t.Fatalf("final Len = %d, want %d", wc.Len(), wantLen)
+	}
+	if got := wc.Count(0, 2e6); got != wantLen {
+		t.Fatalf("final full-range count = %d, want %d", got, wantLen)
+	}
+	if got := wc.Count(0, wBaseMax); got != len(base) {
+		t.Fatalf("final base count = %d, want %d", got, len(base))
+	}
+	// Base weights were never touched by updaters, so the base mass is
+	// exactly what was loaded (up to accumulation order).
+	if got := wc.TotalWeight(0, wBaseMax); math.Abs(got-baseW) > 1e-6*baseW {
+		t.Fatalf("final base weight = %g, want %g", got, baseW)
+	}
+	// Each updater key's final weight is the last value its updater wrote.
+	wantUpd := 0.0
+	for range updaterItems {
+		for i := 0; i < 256; i++ {
+			// Updater u touched key index i on iterations i, i+256, ...; the
+			// last such iteration j < iters sets weight 1 + j%5.
+			last := i + ((iters-1-i)/256)*256
+			wantUpd += float64(1 + last%5)
+		}
+	}
+	gotUpd := wc.TotalWeight(float64(wWriterBase+(writers+1)*wWriterBlock), 2e6)
+	if math.Abs(gotUpd-wantUpd) > 1e-6*wantUpd {
+		t.Fatalf("final updater weight = %g, want %g", gotUpd, wantUpd)
+	}
+	if err := wc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := wc.Stats()
+	if st.Len != wantLen {
+		t.Fatalf("stats len = %d, want %d", st.Len, wantLen)
+	}
+}
+
+// TestWeightedAutoRebalanceRace grows a structure from empty with many
+// concurrent point writers, forcing automatic topology changes to overlap
+// live traffic.
+func TestWeightedAutoRebalanceRace(t *testing.T) {
+	wc := NewWeighted[int](8, 411)
+	const (
+		writers = 8
+		perW    = 3000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(4000 + w))
+			for i := 0; i < perW; i++ {
+				if err := wc.Insert(w*perW+i, 1+float64(i%7)); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				if i%16 == 0 {
+					if out, err := wc.Sample(0, writers*perW, 4, rng); err == nil {
+						for _, k := range out {
+							if k < 0 || k >= writers*perW {
+								t.Errorf("sample %d out of bounds", k)
+								return
+							}
+						}
+					}
+				}
+				if i%64 == 0 {
+					if _, err := wc.UpdateWeight(w*perW+i/2, float64(1+i%3)); err != nil {
+						t.Errorf("UpdateWeight: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if wc.Len() != writers*perW {
+		t.Fatalf("Len = %d, want %d", wc.Len(), writers*perW)
+	}
+	if err := wc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if wc.Shards() < 2 {
+		t.Fatalf("no shard growth under %d inserts", writers*perW)
+	}
+}

@@ -15,14 +15,20 @@ import (
 //
 //	Insert / Delete / UpdateWeight   O(log n) expected
 //	Count / TotalWeight              O(log n) expected
-//	SampleAppend (t samples)         O((t + 1) log n) expected
+//	SampleAppend (t samples)         O(log n + t log log n) expected
 //
-// Queries internally split the tree around the range and merge it back, so
-// a Treap must not be used concurrently — even for reads.
+// Queries are read-only: Count, TotalWeight, RangeStats, AppendRange, and
+// SampleRunAppend (with caller-owned scratch) never restructure the tree,
+// so any number of goroutines may run them concurrently as long as no
+// mutation (Insert, Delete, UpdateWeight) runs at the same time.
+// SampleAppend draws through receiver-internal scratch and is therefore
+// additionally exclusive against other SampleAppend calls on the same
+// receiver — the same contract as core.Dynamic.
 type Treap[K cmp.Ordered] struct {
 	root *wnode[K]
 	rng  *xrand.RNG
 	n    int
+	run  TreapRun[K] // reused by SampleAppend; makes steady-state queries allocation-free
 }
 
 type wnode[K cmp.Ordered] struct {
@@ -177,65 +183,24 @@ func (t *Treap[K]) UpdateWeight(key K, weight float64) (bool, error) {
 	return apply(t.root), nil
 }
 
-// splitRange carves out the subtree holding keys in [lo, hi]. The caller
-// must reassemble with unsplitRange.
-func (t *Treap[K]) splitRange(lo, hi K) (left, mid, right *wnode[K]) {
-	left, rest := wsplit(t.root, lo, true)
-	mid, right = wsplit(rest, hi, false)
-	return
-}
-
-func (t *Treap[K]) unsplitRange(left, mid, right *wnode[K]) {
-	t.root = wmerge(wmerge(left, mid), right)
-}
-
-// Count returns the number of items with keys in [lo, hi].
+// Count returns the number of items with keys in [lo, hi]. Read-only.
 func (t *Treap[K]) Count(lo, hi K) int {
-	if hi < lo {
-		return 0
-	}
-	left, mid, right := t.splitRange(lo, hi)
-	c := mid.sizeOf()
-	t.unsplitRange(left, mid, right)
+	c, _ := t.RangeStats(lo, hi)
 	return c
 }
 
-// TotalWeight returns the weight mass in [lo, hi].
+// TotalWeight returns the weight mass in [lo, hi]. Read-only.
 func (t *Treap[K]) TotalWeight(lo, hi K) float64 {
-	if hi < lo {
-		return 0
-	}
-	left, mid, right := t.splitRange(lo, hi)
-	w := mid.wsumOf()
-	t.unsplitRange(left, mid, right)
+	_, w := t.RangeStats(lo, hi)
 	return w
 }
 
-// SampleAppend appends t samples from [lo, hi], each with probability
-// proportional to its weight. O((t + 1) log n) expected.
+// SampleAppend appends k samples from [lo, hi], each with probability
+// proportional to its weight, drawing through the receiver's internal run
+// scratch (see TreapRun and SampleRunAppend for the concurrent-reader
+// variant). O(log n + k log log n) expected.
 func (t *Treap[K]) SampleAppend(dst []K, lo, hi K, k int, rng *xrand.RNG) ([]K, error) {
-	if err := sampleArgsErr(k); err != nil {
-		return dst, err
-	}
-	if k == 0 {
-		return dst, nil
-	}
-	if hi < lo {
-		return dst, ErrEmptyRange
-	}
-	left, mid, right := t.splitRange(lo, hi)
-	defer t.unsplitRange(left, mid, right)
-	if mid.sizeOf() == 0 {
-		return dst, ErrEmptyRange
-	}
-	total := mid.wsumOf()
-	if total <= 0 {
-		return dst, ErrZeroWeightRange
-	}
-	for i := 0; i < k; i++ {
-		dst = append(dst, sampleNode(mid, rng.Float64()*total))
-	}
-	return dst, nil
+	return t.SampleRunAppend(&t.run, dst, lo, hi, k, rng)
 }
 
 // sampleNode descends by cumulative weight: x is uniform in [0, n.wsum).

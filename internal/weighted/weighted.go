@@ -46,6 +46,9 @@ var (
 	// ErrInvalidWeight is returned at construction for negative, NaN, or
 	// infinite weights.
 	ErrInvalidWeight = errors.New("weighted: weight is negative, NaN, or infinite")
+	// ErrUnsortedItems is returned by FromSorted constructors when the
+	// input items are not in non-decreasing key order.
+	ErrUnsortedItems = errors.New("weighted: items are not sorted by key")
 )
 
 // Item is a weighted key.
@@ -53,6 +56,10 @@ type Item[K cmp.Ordered] struct {
 	Key    K
 	Weight float64
 }
+
+// ValidWeight reports whether w is a usable weight: finite and
+// non-negative (NaN is rejected because NaN >= 0 is false).
+func ValidWeight(w float64) bool { return w >= 0 && !math.IsInf(w, 0) }
 
 // Sampler is the interface shared by every weighted IRS implementation.
 type Sampler[K cmp.Ordered] interface {

@@ -27,8 +27,13 @@
 //     O(log n) per sample; report-then-sample at O(|range|) per query),
 //     provided for comparison and for applications with tiny ranges.
 //   - WeightedSegmentAlias, WeightedBucket, WeightedFenwick,
-//     WeightedNaiveCDF: the weighted extension — samples drawn with
-//     probability proportional to per-key weights (see weighted.go).
+//     WeightedNaiveCDF, WeightedTreap: the weighted extension — samples
+//     drawn with probability proportional to per-key weights (see
+//     weighted.go); WeightedTreap is the fully dynamic member.
+//   - WeightedConcurrent: the sharded, concurrency-safe layer over
+//     WeightedTreap — the same engine as Concurrent, with the cross-shard
+//     multinomial split proportional to per-shard range weight (see
+//     weightedconcurrent.go).
 //
 // # Randomness and concurrency
 //
@@ -39,16 +44,21 @@
 //
 // The concurrency contract has three tiers:
 //
-//   - Static and the other immutable structures are safe for any number of
-//     concurrent readers, each using its own RNG.
-//   - Dynamic, TreapSampler, ReportSampler, and the weighted samplers are
-//     single-writer, zero-reader during mutation: no access of any kind may
-//     run concurrently with an Insert or Delete.
-//   - Concurrent is fully thread-safe: inserts, deletes, counts, and
-//     sampling queries may all run simultaneously from any number of
-//     goroutines, and its statistical guarantees (per-sample uniformity,
+//   - Static and the other immutable structures (the static weighted
+//     samplers included) are safe for any number of concurrent readers,
+//     each using its own RNG.
+//   - Dynamic, TreapSampler, ReportSampler, and WeightedTreap are
+//     single-writer: no access of any kind may run concurrently with an
+//     Insert, Delete, or UpdateWeight. Between mutations, their query
+//     paths that draw through caller-owned scratch (Dynamic.SampleRunAppend
+//     and the WeightedTreap run API in internal/weighted) admit any number
+//     of concurrent readers — the property the sharded layer builds on.
+//   - Concurrent and WeightedConcurrent are fully thread-safe: inserts,
+//     deletes, weight updates, counts, and sampling queries may all run
+//     simultaneously from any number of goroutines, and their statistical
+//     guarantees (per-sample uniformity or weight-proportionality,
 //     independence) hold for every value returned under any interleaving,
-//     because each query counts and draws against one locked snapshot.
+//     because each query measures and draws against one locked snapshot.
 //
 // Example:
 //

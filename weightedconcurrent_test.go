@@ -1,0 +1,131 @@
+package irs_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	irs "github.com/irsgo/irs"
+)
+
+// TestWeightedConcurrentPublicAPI exercises the weighted concurrent
+// sampler through the public package, as a downstream user would:
+// constructors, the WeightedSampler interface, weight updates, batch entry
+// points, and the concurrency contract.
+func TestWeightedConcurrentPublicAPI(t *testing.T) {
+	rng := irs.NewRNG(6)
+
+	items := make([]irs.WeightedItem[float64], 10_000)
+	wantW := 0.0
+	for i := range items {
+		items[i] = irs.WeightedItem[float64]{
+			Key:    rng.Float64() * 1000,
+			Weight: 1 + rng.Float64()*9,
+		}
+		wantW += items[i].Weight
+	}
+	w, err := irs.NewWeightedConcurrentFromItems(items, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := irs.NewWeightedConcurrentFromItems([]irs.WeightedItem[int]{{Key: 1, Weight: -1}}, 2, 8); err != irs.ErrInvalidWeight {
+		t.Fatalf("bad weight: err = %v", err)
+	}
+	if _, err := irs.NewWeightedConcurrentFromSplits([]int{3, 1}, 9); err != irs.ErrUnsortedWeightedItems {
+		t.Fatalf("unsorted splits: err = %v", err)
+	}
+
+	// The concurrent structure satisfies the same WeightedSampler interface
+	// as the single-threaded weighted samplers.
+	var s irs.WeightedSampler[float64] = w
+	if s.Len() != len(items) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.TotalWeight(0, 1000); math.Abs(got-wantW) > 1e-6*wantW {
+		t.Fatalf("TotalWeight = %v, want %v", got, wantW)
+	}
+	out, err := s.SampleAppend(nil, 100, 900, 50, rng)
+	if err != nil || len(out) != 50 {
+		t.Fatalf("SampleAppend: %d, %v", len(out), err)
+	}
+	for _, k := range out {
+		if k < 100 || k > 900 {
+			t.Fatalf("sample %g out of range", k)
+		}
+	}
+	if _, err := s.SampleAppend(nil, 2000, 3000, 1, rng); err != irs.ErrEmptyRange {
+		t.Fatalf("empty range: err = %v", err)
+	}
+
+	// Zero-weight ranges have their own error.
+	if err := w.InsertBatch([]irs.WeightedItem[float64]{{Key: 5000, Weight: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sample(4500, 5500, 1, rng); err != irs.ErrZeroWeightRange {
+		t.Fatalf("zero-weight range: err = %v", err)
+	}
+
+	// Live weight updates through the public API.
+	if err := w.Insert(2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := w.UpdateWeight(2000, 123)
+	if err != nil || !ok {
+		t.Fatalf("UpdateWeight: %v %v", ok, err)
+	}
+	if got := w.TotalWeight(2000, 2000); got != 123 {
+		t.Fatalf("updated weight = %v", got)
+	}
+	if _, err := w.UpdateWeight(2000, math.Inf(1)); err != irs.ErrInvalidWeight {
+		t.Fatalf("bad update: err = %v", err)
+	}
+
+	// Batch sampling with mixed shapes, including degenerate queries.
+	results, err := w.SampleMany([]irs.ConcurrentQuery[float64]{
+		{Lo: 0, Hi: 1000, T: 64},
+		{Lo: 4500, Hi: 5500, T: 4}, // zero-weight range -> nil, not an error
+		{Lo: 10, Hi: 0, T: 4},      // inverted -> nil
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0]) != 64 || results[1] != nil || results[2] != nil {
+		t.Fatalf("SampleMany shapes: %d %v %v", len(results[0]), results[1], results[2])
+	}
+
+	// The concurrency contract: writers, updaters, and readers at once.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(grng *irs.RNG, g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch g % 3 {
+				case 0:
+					if err := w.Insert(1e6+float64(g*1000+i), 1); err != nil {
+						t.Errorf("Insert: %v", err)
+						return
+					}
+				case 1:
+					if _, err := w.UpdateWeight(2000, float64(1+i%9)); err != nil {
+						t.Errorf("UpdateWeight: %v", err)
+						return
+					}
+				default:
+					if out, err := w.Sample(0, 1000, 8, grng); err == nil {
+						for _, k := range out {
+							if k < 0 || k > 1000 {
+								t.Errorf("sample %g out of range", k)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(rng.Split(), g)
+	}
+	wg.Wait()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
