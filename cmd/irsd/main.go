@@ -1,0 +1,155 @@
+// Command irsd is the IRS sampling daemon: it serves named unweighted or
+// weighted datasets over HTTP/JSON, coalescing concurrently-arriving
+// sample requests into single SampleMany batches (and insert requests into
+// single InsertBatch calls) against the concurrent sharded structures.
+//
+// Usage:
+//
+//	irsd -addr 127.0.0.1:8080 -datasets events,logs:weighted
+//	irsd -addr 127.0.0.1:0 -datasets demo -preload 100000
+//
+// Endpoints (see package github.com/irsgo/irs/server for the protocol and
+// a typed client):
+//
+//	POST /sample  {"dataset":"events","lo":0,"hi":9,"t":3}
+//	POST /insert  {"dataset":"events","keys":[1,2,3]}
+//	POST /delete  {"dataset":"events","keys":[1]}
+//	GET  /stats
+//
+// With -addr ending in :0 the kernel picks a free port; the chosen address
+// is printed as "irsd: serving on http://..." so wrappers can scrape it.
+// SIGINT/SIGTERM trigger a graceful stop: the listener closes, in-flight
+// and queued requests are answered, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	irs "github.com/irsgo/irs"
+	"github.com/irsgo/irs/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		datasets = flag.String("datasets", "demo", "comma-separated name[:weighted|:unweighted] specs")
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "target shard count per dataset")
+		seed     = flag.Uint64("seed", 1, "seed anchoring each dataset's sampling streams")
+		preload  = flag.Int("preload", 0, "keys preloaded per dataset, uniform in [0, 1e6)")
+		queue    = flag.Int("queue", 0, "pending-request bound per dataset and path (0 = default)")
+		maxBatch = flag.Int("max-batch", 0, "max coalesced requests per backend call (0 = default)")
+		window   = flag.Duration("coalesce-window", 100*time.Microsecond, "linger time for batch-mates (0 = opportunistic only)")
+		flushers = flag.Int("flushers", 0, "parallel backend calls per dataset and path (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		QueueDepth:     *queue,
+		MaxBatch:       *maxBatch,
+		CoalesceWindow: *window,
+		Flushers:       *flushers,
+	})
+	if err := addDatasets(s, *datasets, *shards, *seed, *preload); err != nil {
+		log.Fatalf("irsd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("irsd: %v", err)
+	}
+	// Printed (not just logged) so scripts can scrape the resolved address
+	// when -addr asked for a kernel-assigned port.
+	fmt.Printf("irsd: serving on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("irsd: signal received, draining")
+	case err := <-done:
+		log.Fatalf("irsd: serve: %v", err)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("irsd: http shutdown: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("irsd: serve: %v", err)
+	}
+	s.Close() // drain the coalescers: every accepted request is answered
+	fmt.Println("irsd: drained, bye")
+}
+
+// addDatasets parses "name[:kind]" specs and registers each dataset,
+// optionally preloaded with uniform keys.
+func addDatasets(s *server.Server, specs string, shards int, seed uint64, preload int) error {
+	added := 0
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, kind, _ := strings.Cut(spec, ":")
+		rng := irs.NewRNG(seed)
+		switch kind {
+		case "", "unweighted":
+			c := irs.NewConcurrentSeeded[float64](shards, seed)
+			if preload > 0 {
+				keys := make([]float64, preload)
+				for i := range keys {
+					keys[i] = rng.Float64Range(0, 1e6)
+				}
+				c.InsertBatch(keys)
+			}
+			if err := s.AddUnweighted(name, c); err != nil {
+				return err
+			}
+		case "weighted":
+			w := irs.NewWeightedConcurrent[float64](shards, seed)
+			if preload > 0 {
+				items := make([]irs.WeightedItem[float64], preload)
+				for i := range items {
+					items[i] = irs.WeightedItem[float64]{Key: rng.Float64Range(0, 1e6), Weight: 1 + rng.Float64()}
+				}
+				if err := w.InsertBatch(items); err != nil {
+					return err
+				}
+			}
+			if err := s.AddWeighted(name, w); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dataset %q: unknown kind %q (want weighted or unweighted)", name, kind)
+		}
+		added++
+		log.Printf("irsd: dataset %q (%s), %d shard target, preload %d", name, orUnweighted(kind), shards, preload)
+	}
+	if added == 0 {
+		return errors.New("no datasets configured")
+	}
+	return nil
+}
+
+func orUnweighted(kind string) string {
+	if kind == "" {
+		return "unweighted"
+	}
+	return kind
+}

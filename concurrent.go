@@ -33,16 +33,35 @@ type ConcurrentStats = shard.Stats
 // NewConcurrent returns an empty Concurrent that grows toward shards
 // shards as data arrives: split points are learned automatically once
 // there is enough data to balance, and re-learned when a shard drifts far
-// from its fair share.
+// from its fair share. Equivalent to NewConcurrentSeeded with seed 0.
 func NewConcurrent[K cmp.Ordered](shards int) *Concurrent[K] {
 	return shard.New[K](shards)
 }
 
+// NewConcurrentSeeded is NewConcurrent with an explicit seed, the symmetric
+// counterpart of NewWeightedConcurrent's seed parameter: it anchors the
+// structure's NewStream sequence (see the seeding contract in the package
+// documentation), so consumers that draw their sampling RNGs from the
+// structure — the irsd serving layer does — replay exactly when they
+// consume streams and issue queries in a deterministic order (for irsd,
+// serialized requests and a single flusher). The seed never influences
+// any sampling distribution.
+func NewConcurrentSeeded[K cmp.Ordered](shards int, seed uint64) *Concurrent[K] {
+	return shard.NewSeeded[K](shards, seed)
+}
+
 // NewConcurrentFromSorted bulk-loads a Concurrent from sorted keys,
 // learning equi-depth split points so each shard starts with an equal
-// share. Returns ErrUnsorted on unsorted input.
+// share. Returns ErrUnsorted on unsorted input. Equivalent to
+// NewConcurrentFromSortedSeeded with seed 0.
 func NewConcurrentFromSorted[K cmp.Ordered](keys []K, shards int) (*Concurrent[K], error) {
 	return shard.NewFromSorted(keys, shards)
+}
+
+// NewConcurrentFromSortedSeeded is NewConcurrentFromSorted with an explicit
+// seed anchoring the structure's NewStream sequence.
+func NewConcurrentFromSortedSeeded[K cmp.Ordered](keys []K, shards int, seed uint64) (*Concurrent[K], error) {
+	return shard.NewFromSortedSeeded(keys, shards, seed)
 }
 
 // NewConcurrentFromSplits returns an empty Concurrent with fixed routing at

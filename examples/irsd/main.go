@@ -1,0 +1,150 @@
+// irsd end to end: the serving layer as a client sees it. The demo drives
+// a live irsd daemon through the typed Go client — inserts a key
+// population, fires bursts of concurrent sample queries (which the daemon
+// coalesces into far fewer backend SampleMany calls), deletes a slice of
+// the keys, and reads the serving stats back to show the coalescing ratio.
+//
+// By default it self-hosts: an in-process daemon on a kernel-assigned
+// port, so the example is a one-command run. Point it at an external
+// daemon instead with -addr (this is how CI smoke-tests the built binary):
+//
+//	go run ./examples/irsd                      # self-hosted
+//	irsd -addr 127.0.0.1:0 -datasets demo &     # then:
+//	go run ./examples/irsd -addr http://127.0.0.1:<port>
+//
+// The process exits non-zero on any protocol or correctness failure, so it
+// doubles as a smoke check.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	irs "github.com/irsgo/irs"
+	"github.com/irsgo/irs/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "base URL of a running daemon; empty self-hosts one in-process")
+		n       = flag.Int("n", 2000, "keys to insert")
+		clients = flag.Int("clients", 16, "concurrent sampling clients")
+		reqs    = flag.Int("requests", 50, "sample requests per client")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	base := *addr
+	if base == "" {
+		var stop func()
+		var err error
+		base, stop, err = selfHost()
+		if err != nil {
+			log.Fatalf("irsd example: %v", err)
+		}
+		defer stop()
+		fmt.Printf("self-hosted daemon on %s\n", base)
+	}
+	cl := server.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// 1. Ingest: one batch of n keys 0..n-1 through /insert.
+	keys := make([]float64, *n)
+	for i := range keys {
+		keys[i] = float64(i)
+	}
+	inserted, err := cl.InsertKeys(ctx, "", keys)
+	if err != nil || inserted != *n {
+		log.Fatalf("insert: inserted=%d err=%v", inserted, err)
+	}
+	fmt.Printf("inserted %d keys\n", inserted)
+
+	// 2. One warm-up query, checked for shape.
+	lo, hi := float64(*n/4), float64(3**n/4)
+	samples, err := cl.Sample(ctx, "", lo, hi, 5)
+	if err != nil || len(samples) != 5 {
+		log.Fatalf("sample: got %v err=%v", samples, err)
+	}
+	for _, s := range samples {
+		if s < lo || s > hi {
+			log.Fatalf("sample %g outside [%g, %g]", s, lo, hi)
+		}
+	}
+	fmt.Printf("warm-up sample of [%g, %g]: %v\n", lo, hi, samples)
+
+	// 3. The point of the daemon: concurrent independent clients whose
+	// requests coalesce into shared SampleMany batches server-side.
+	var wg sync.WaitGroup
+	var served, rejected atomic.Int64
+	start := time.Now()
+	for g := 0; g < *clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < *reqs; i++ {
+				out, err := cl.Sample(ctx, "", lo, hi, 8)
+				switch {
+				case errors.Is(err, server.ErrOverloaded):
+					rejected.Add(1) // backpressure is a valid answer
+				case err != nil:
+					log.Fatalf("concurrent sample: %v", err)
+				case len(out) != 8:
+					log.Fatalf("concurrent sample: %d samples", len(out))
+				default:
+					served.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("%d clients x %d requests in %v (%d served, %d backpressured)\n",
+		*clients, *reqs, time.Since(start).Round(time.Millisecond), served.Load(), rejected.Load())
+
+	// 4. Retire a slice of the population.
+	removed, err := cl.Delete(ctx, "", keys[:*n/10])
+	if err != nil || removed != *n/10 {
+		log.Fatalf("delete: removed=%d err=%v", removed, err)
+	}
+	fmt.Printf("deleted %d keys\n", removed)
+
+	// 5. Serving stats: how many backend calls served how many requests.
+	st, err := cl.Stats(ctx)
+	if err != nil || len(st.Datasets) == 0 {
+		log.Fatalf("stats: %+v err=%v", st, err)
+	}
+	for _, d := range st.Datasets {
+		ratio := float64(d.SampleRequests) / float64(max(d.SampleBatches, 1))
+		fmt.Printf("dataset %q (%s): len=%d shards=%d — %d sample requests in %d backend batches (%.1fx coalescing, max batch %d)\n",
+			d.Name, d.Kind, d.Len, d.Shards, d.SampleRequests, d.SampleBatches, ratio, d.MaxCoalesced)
+	}
+	fmt.Println("ok")
+}
+
+// selfHost starts an in-process daemon with one empty unweighted dataset
+// on a kernel-assigned port, returning its base URL and a stop function.
+func selfHost() (string, func(), error) {
+	s := server.New(server.Config{CoalesceWindow: 200 * time.Microsecond})
+	if err := s.AddUnweighted("demo", irs.NewConcurrentSeeded[float64](8, 42)); err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: s}
+	go func() { _ = httpSrv.Serve(ln) }()
+	stop := func() {
+		_ = httpSrv.Close()
+		s.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// request is one caller waiting inside a coalescer: a payload plus a
+// 1-buffered reply channel its flush writes exactly one result into.
+type request[Q, R any] struct {
+	q   Q
+	out chan result[R]
+}
+
+type result[R any] struct {
+	v   R
+	err error
+}
+
+// coalescer merges concurrently-arriving requests into batches:
+//
+//   - Admission is a bounded queue. submit fails fast with ErrOverloaded
+//     when the queue is full and ErrShuttingDown after close — the
+//     backpressure contract a transport maps to 503s — and otherwise blocks
+//     until its batch has been flushed.
+//   - One gatherer goroutine forms batches: it takes a queued request,
+//     drains everything else already waiting, lingers up to window for more
+//     when configured, and stops a batch at maxBatch requests.
+//   - A pool of flusher workers executes batches, so coalescing never
+//     serializes independent backend calls behind one core: under light
+//     load batches are small and flush in parallel; under heavy load the
+//     workers saturate, the queue backs up, and batches grow toward
+//     maxBatch — coalescing intensifies exactly when amortization pays.
+//
+// Each flusher owns private state (in particular its sampling RNG) through
+// the newFlush factory, so flushes need no locking of their own.
+type coalescer[Q, R any] struct {
+	reqs     chan request[Q, R]
+	batches  chan []request[Q, R]
+	window   time.Duration
+	maxBatch int
+
+	mu       sync.RWMutex // guards closed; held shared around every send
+	closed   bool
+	loopDone chan struct{}
+	flushers sync.WaitGroup
+}
+
+// newCoalescer starts the gatherer and workers flusher goroutines, each
+// flushing batches through its own closure from newFlush.
+func newCoalescer[Q, R any](queueDepth, maxBatch, workers int, window time.Duration, newFlush func() func([]request[Q, R])) *coalescer[Q, R] {
+	c := &coalescer[Q, R]{
+		reqs:     make(chan request[Q, R], queueDepth),
+		batches:  make(chan []request[Q, R], workers),
+		window:   window,
+		maxBatch: maxBatch,
+		loopDone: make(chan struct{}),
+	}
+	c.flushers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer c.flushers.Done()
+			flush := newFlush()
+			for batch := range c.batches {
+				flush(batch)
+			}
+		}()
+	}
+	go c.loop()
+	return c
+}
+
+// submit enqueues q and blocks until its batch is flushed. Every accepted
+// request is answered exactly once, including requests still queued when
+// close begins (close drains before returning).
+func (c *coalescer[Q, R]) submit(q Q) (R, error) {
+	r := request[Q, R]{q: q, out: make(chan result[R], 1)}
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		var zero R
+		return zero, ErrShuttingDown
+	}
+	select {
+	case c.reqs <- r:
+		c.mu.RUnlock()
+	default:
+		c.mu.RUnlock()
+		var zero R
+		return zero, ErrOverloaded
+	}
+	res := <-r.out
+	return res.v, res.err
+}
+
+// close stops admission, waits until every accepted request has been
+// flushed, and stops the goroutines. Safe to call more than once.
+func (c *coalescer[Q, R]) close() {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !already {
+		// No submit can be mid-send: sends happen under the read lock, and
+		// every new submit now observes closed first.
+		close(c.reqs)
+	}
+	<-c.loopDone
+	c.flushers.Wait()
+}
+
+// loop is the gatherer: batch formation only, never backend work.
+func (c *coalescer[Q, R]) loop() {
+	defer close(c.loopDone)
+	defer close(c.batches)
+	for {
+		r, ok := <-c.reqs
+		if !ok {
+			return
+		}
+		batch := append(make([]request[Q, R], 0, 8), r)
+		alive := c.gather(&batch)
+		c.batches <- batch
+		if !alive {
+			return
+		}
+	}
+}
+
+// gather fills batch with whatever else is queued: everything immediately
+// available, then — when a linger window is configured — whatever arrives
+// before the window closes, stopping early at maxBatch requests. It reports
+// false once the queue has been closed and drained.
+func (c *coalescer[Q, R]) gather(batch *[]request[Q, R]) bool {
+	for len(*batch) < c.maxBatch {
+		select {
+		case r, ok := <-c.reqs:
+			if !ok {
+				return false
+			}
+			*batch = append(*batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if c.window <= 0 || len(*batch) >= c.maxBatch {
+		return true
+	}
+	timer := time.NewTimer(c.window)
+	defer timer.Stop()
+	for len(*batch) < c.maxBatch {
+		select {
+		case r, ok := <-c.reqs:
+			if !ok {
+				return false
+			}
+			*batch = append(*batch, r)
+		case <-timer.C:
+			return true
+		}
+	}
+	return true
+}

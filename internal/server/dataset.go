@@ -1,0 +1,107 @@
+package server
+
+import (
+	"cmp"
+
+	"github.com/irsgo/irs/internal/shard"
+	"github.com/irsgo/irs/internal/weighted"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// Item is one element of an insert request: a key plus a sampling weight.
+// Unweighted datasets route and store the key and ignore the weight (every
+// key has unit mass); weighted datasets validate it with the usual rules
+// (non-negative, finite).
+type Item[K cmp.Ordered] struct {
+	Key    K       `json:"key"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Dataset is the backend surface a Core serves: exactly the slice of
+// irs.Concurrent / irs.WeightedConcurrent the serving layer needs, so tests
+// can substitute instrumented fakes. Implementations must be safe for any
+// number of concurrent goroutines (the concurrent structures are), and
+// SampleMany must answer every query in a batch against one consistent
+// snapshot while preserving per-sample uniformity (or weight-
+// proportionality) and independence — the property request coalescing
+// inherits.
+type Dataset[K cmp.Ordered] interface {
+	// SampleMany answers a batch of range-sampling queries; results[i]
+	// holds queries[i]'s samples, nil for a query over a range with no
+	// sampling mass.
+	SampleMany(queries []shard.Query[K], rng *xrand.RNG) ([][]K, error)
+	// InsertItems stores every item. Weights were validated by the Core
+	// before submission, so an error here fails the whole merged batch.
+	InsertItems(items []Item[K]) error
+	// DeleteKeys removes one occurrence of each key, returning how many
+	// were present and removed.
+	DeleteKeys(keys []K) int
+	// Len returns the number of stored items.
+	Len() int
+	// Stats returns the structure's topology snapshot.
+	Stats() shard.Stats
+	// Weighted reports whether samples are weight-proportional.
+	Weighted() bool
+	// NewStream returns a fresh sampling RNG from the structure's
+	// deterministic stream sequence; the serving layer draws the RNGs of
+	// its flush workers from it.
+	NewStream() *xrand.RNG
+}
+
+// unweightedDataset adapts *shard.Concurrent (= irs.Concurrent).
+type unweightedDataset[K cmp.Ordered] struct {
+	c *shard.Concurrent[K]
+}
+
+// NewUnweightedDataset wraps a Concurrent as a servable Dataset. Insert
+// weights are ignored: every key has unit sampling mass.
+func NewUnweightedDataset[K cmp.Ordered](c *shard.Concurrent[K]) Dataset[K] {
+	return &unweightedDataset[K]{c: c}
+}
+
+func (d *unweightedDataset[K]) SampleMany(queries []shard.Query[K], rng *xrand.RNG) ([][]K, error) {
+	return d.c.SampleMany(queries, rng)
+}
+
+func (d *unweightedDataset[K]) InsertItems(items []Item[K]) error {
+	keys := make([]K, len(items))
+	for i, it := range items {
+		keys[i] = it.Key
+	}
+	d.c.InsertBatch(keys)
+	return nil
+}
+
+func (d *unweightedDataset[K]) DeleteKeys(keys []K) int { return d.c.DeleteBatch(keys) }
+func (d *unweightedDataset[K]) Len() int                { return d.c.Len() }
+func (d *unweightedDataset[K]) Stats() shard.Stats      { return d.c.Stats() }
+func (d *unweightedDataset[K]) Weighted() bool          { return false }
+func (d *unweightedDataset[K]) NewStream() *xrand.RNG   { return d.c.NewStream() }
+
+// weightedDataset adapts *shard.WeightedConcurrent (= irs.WeightedConcurrent).
+type weightedDataset[K cmp.Ordered] struct {
+	w *shard.WeightedConcurrent[K]
+}
+
+// NewWeightedDataset wraps a WeightedConcurrent as a servable Dataset.
+func NewWeightedDataset[K cmp.Ordered](w *shard.WeightedConcurrent[K]) Dataset[K] {
+	return &weightedDataset[K]{w: w}
+}
+
+func (d *weightedDataset[K]) SampleMany(queries []shard.Query[K], rng *xrand.RNG) ([][]K, error) {
+	return d.w.SampleMany(queries, rng)
+}
+
+func (d *weightedDataset[K]) InsertItems(items []Item[K]) error {
+	witems := make([]weighted.Item[K], len(items))
+	for i, it := range items {
+		witems[i] = weighted.Item[K]{Key: it.Key, Weight: it.Weight}
+	}
+	return d.w.InsertBatch(witems)
+}
+
+func (d *weightedDataset[K]) DeleteKeys(keys []K) int { return d.w.DeleteBatch(keys) }
+func (d *weightedDataset[K]) Len() int                { return d.w.Len() }
+func (d *weightedDataset[K]) Stats() shard.Stats      { return d.w.Stats() }
+func (d *weightedDataset[K]) Weighted() bool          { return true }
+func (d *weightedDataset[K]) NewStream() *xrand.RNG   { return d.w.NewStream() }

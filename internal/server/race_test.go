@@ -1,0 +1,96 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestRaceCoalescedReadersAgainstWriters hammers one core from every
+// direction at once — coalesced samplers, coalesced inserters, direct
+// deleters, stats readers — on both dataset kinds, then shuts down while
+// traffic is still arriving. Run under -race (CI does), this is the data-
+// race proof for the serving layer; every error that escapes must be a
+// typed admission error.
+func TestRaceCoalescedReadersAgainstWriters(t *testing.T) {
+	core := newTestCore(t, Config{QueueDepth: 256, MaxBatch: 16, Flushers: 2})
+
+	const iters = 150
+	var wg sync.WaitGroup
+	ok := func(err error) bool {
+		return err == nil || errors.Is(err, ErrOverloaded) ||
+			errors.Is(err, ErrShuttingDown) || errors.Is(err, ErrEmptyRange)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := "u"
+			if g%2 == 1 {
+				name = "w"
+			}
+			for i := 0; i < iters; i++ {
+				if _, err := core.Sample(name, 0, 999, 8); !ok(err) {
+					t.Errorf("sample: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := "u"
+			if g == 1 {
+				name = "w"
+			}
+			for i := 0; i < iters; i++ {
+				items := []Item[float64]{
+					{Key: float64(2000 + i), Weight: 1},
+					{Key: float64(3000 + i), Weight: 2},
+				}
+				if _, err := core.Insert(name, items); !ok(err) {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := core.Delete("u", []float64{float64(2000 + i)}); !ok(err) {
+				t.Errorf("delete: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			core.Stats()
+		}
+	}()
+
+	wg.Wait()
+	// Shut down with one last wave racing the drain.
+	var closing sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		closing.Add(1)
+		go func() {
+			defer closing.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := core.Sample("u", 0, 999, 4); !ok(err) {
+					t.Errorf("sample during close: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	core.Close()
+	closing.Wait()
+	core.Close() // idempotent
+}

@@ -1,0 +1,361 @@
+// Package server is the transport-agnostic serving core over the
+// concurrent IRS structures: the piece that turns the batch APIs' lock
+// amortization (InsertBatch, SampleMany) into system-level throughput for
+// independent clients. The HTTP daemon (cmd/irsd) and its importable
+// handler/client layer (package github.com/irsgo/irs/server) are thin
+// adapters over this core.
+//
+// # Request coalescing
+//
+// The core's central mechanism is the coalescer (coalescer.go): sample
+// requests that arrive concurrently for one dataset are merged into a
+// single SampleMany call, and insert requests into a single InsertBatch
+// call, with per-request scatter of the results. This is statistically
+// free: SampleMany already guarantees that every query in a batch gets
+// exactly uniform (or exactly weight-proportional), mutually independent
+// samples against one consistent snapshot — which queries share a batch is
+// invisible in the output distribution. So coalescing changes lock traffic
+// and throughput, never the IRS contract; the end-to-end chi-square and
+// independence suites in package server verify this through the full HTTP
+// stack.
+//
+// # Admission control
+//
+// Each dataset has a bounded request queue per path (sample, insert). When
+// a queue is full, submission fails fast with ErrOverloaded instead of
+// growing an unbounded backlog; after Close begins, with ErrShuttingDown.
+// Requests accepted before Close are always answered — shutdown drains.
+// The knobs are Config.QueueDepth (backlog bound), Config.MaxBatch (how
+// many requests one backend call may carry), Config.CoalesceWindow (how
+// long to linger for batch-mates), and Config.Flushers (parallel backend
+// calls in flight).
+package server
+
+import (
+	"cmp"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/irsgo/irs/internal/shard"
+	"github.com/irsgo/irs/internal/weighted"
+	"github.com/irsgo/irs/internal/xrand"
+)
+
+// Typed serving errors. The transport layer maps these to wire codes and
+// HTTP statuses; the client maps the codes back.
+var (
+	// ErrUnknownDataset: the named dataset is not registered.
+	ErrUnknownDataset = errors.New("server: unknown dataset")
+	// ErrAmbiguousDataset: no dataset name was given and more than one is
+	// registered, so there is no default to route to.
+	ErrAmbiguousDataset = errors.New("server: dataset name required when several are registered")
+	// ErrDuplicateDataset: Add was called with a name already in use.
+	ErrDuplicateDataset = errors.New("server: dataset already registered")
+	// ErrInvalidRange: a query with lo > hi.
+	ErrInvalidRange = errors.New("server: inverted range (lo > hi)")
+	// ErrInvalidCount: a sample request with t <= 0.
+	ErrInvalidCount = errors.New("server: sample count must be positive")
+	// ErrEmptyRange: the range holds no sampling mass (no keys, or only
+	// zero-weight keys on a weighted dataset).
+	ErrEmptyRange = errors.New("server: range holds no sampling mass")
+	// ErrOverloaded: the dataset's request queue is full — backpressure.
+	ErrOverloaded = errors.New("server: request queue full")
+	// ErrShuttingDown: the core is draining; no new work is admitted.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrInvalidWeight: an insert carried a negative, NaN, or infinite
+	// weight for a weighted dataset.
+	ErrInvalidWeight = weighted.ErrInvalidWeight
+)
+
+// Defaults for Config fields left at their zero value.
+const (
+	DefaultQueueDepth = 1024
+	DefaultMaxBatch   = 64
+)
+
+// Config holds the admission-control and coalescing knobs, applied per
+// dataset and per path (sample, insert).
+type Config struct {
+	// QueueDepth bounds the pending-request backlog; a full queue rejects
+	// with ErrOverloaded. <= 0 means DefaultQueueDepth.
+	QueueDepth int
+	// MaxBatch caps how many coalesced requests one backend call carries.
+	// <= 0 means DefaultMaxBatch.
+	MaxBatch int
+	// CoalesceWindow is how long the gatherer lingers for further requests
+	// after taking the first of a batch: 0 coalesces opportunistically
+	// (only what is already queued, adding no latency), a positive window
+	// trades that much latency for larger batches.
+	CoalesceWindow time.Duration
+	// Flushers is the number of backend calls that may be in flight at
+	// once per dataset and path. <= 0 means GOMAXPROCS.
+	Flushers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.Flushers <= 0 {
+		c.Flushers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Core serves named datasets with request coalescing and admission
+// control. All methods are safe for any number of concurrent goroutines.
+type Core[K cmp.Ordered] struct {
+	cfg Config
+
+	mu     sync.RWMutex // guards byName and closed
+	byName map[string]*dsState[K]
+	closed bool
+}
+
+// dsState is one registered dataset with its two coalescers.
+type dsState[K cmp.Ordered] struct {
+	name     string
+	ds       Dataset[K]
+	samples  *coalescer[shard.Query[K], []K]
+	inserts  *coalescer[[]Item[K], int]
+	counters counters
+}
+
+// NewCore returns an empty Core with the given knobs.
+func NewCore[K cmp.Ordered](cfg Config) *Core[K] {
+	return &Core[K]{cfg: cfg.withDefaults(), byName: make(map[string]*dsState[K])}
+}
+
+// Add registers ds under name and starts its coalescers. Names must be
+// non-empty and unique; registering on a closed core is rejected.
+func (c *Core[K]) Add(name string, ds Dataset[K]) error {
+	if name == "" {
+		return ErrUnknownDataset
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrShuttingDown
+	}
+	if _, dup := c.byName[name]; dup {
+		return ErrDuplicateDataset
+	}
+	st := &dsState[K]{name: name, ds: ds}
+	cfg := c.cfg
+	st.samples = newCoalescer[shard.Query[K], []K](cfg.QueueDepth, cfg.MaxBatch, cfg.Flushers, cfg.CoalesceWindow,
+		func() func([]request[shard.Query[K], []K]) {
+			rng := ds.NewStream() // one private stream per flusher
+			return func(batch []request[shard.Query[K], []K]) { st.flushSamples(batch, rng) }
+		})
+	st.inserts = newCoalescer[[]Item[K], int](cfg.QueueDepth, cfg.MaxBatch, cfg.Flushers, cfg.CoalesceWindow,
+		func() func([]request[[]Item[K], int]) {
+			return st.flushInserts
+		})
+	c.byName[name] = st
+	return nil
+}
+
+// lookup resolves a dataset name; the empty name resolves only when
+// exactly one dataset is registered.
+func (c *Core[K]) lookup(name string) (*dsState[K], error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrShuttingDown
+	}
+	if name == "" {
+		if len(c.byName) == 1 {
+			for _, st := range c.byName {
+				return st, nil
+			}
+		}
+		if len(c.byName) > 1 {
+			return nil, ErrAmbiguousDataset
+		}
+		return nil, ErrUnknownDataset
+	}
+	st, ok := c.byName[name]
+	if !ok {
+		return nil, ErrUnknownDataset
+	}
+	return st, nil
+}
+
+// Resolve returns the dataset name a request for name would be served by
+// (resolving the empty name to the sole dataset), or the routing error.
+func (c *Core[K]) Resolve(name string) (string, error) {
+	st, err := c.lookup(name)
+	if err != nil {
+		return "", err
+	}
+	return st.name, nil
+}
+
+// Datasets returns the registered dataset names in sorted order.
+func (c *Core[K]) Datasets() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Sample draws t independent samples from [lo, hi] of the named dataset,
+// coalescing with concurrently-arriving requests into one backend
+// SampleMany call. Validation happens before admission, so malformed
+// requests never consume queue capacity.
+func (c *Core[K]) Sample(name string, lo, hi K, t int) ([]K, error) {
+	if t <= 0 {
+		return nil, ErrInvalidCount
+	}
+	if hi < lo {
+		return nil, ErrInvalidRange
+	}
+	st, err := c.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	st.counters.sampleRequests.Add(1)
+	out, err := st.samples.submit(shard.Query[K]{Lo: lo, Hi: hi, T: t})
+	if errors.Is(err, ErrOverloaded) {
+		st.counters.sampleRejected.Add(1)
+	}
+	return out, err
+}
+
+// flushSamples answers one coalesced batch with a single SampleMany call
+// and scatters the per-query results back to their requesters. rng is
+// owned by the calling flusher goroutine.
+func (st *dsState[K]) flushSamples(batch []request[shard.Query[K], []K], rng *xrand.RNG) {
+	st.counters.noteSampleBatch(len(batch))
+	queries := make([]shard.Query[K], len(batch))
+	for i, r := range batch {
+		queries[i] = r.q
+	}
+	results, err := st.ds.SampleMany(queries, rng)
+	for i, r := range batch {
+		switch {
+		case err != nil:
+			r.out <- result[[]K]{err: err}
+		case len(results[i]) == 0:
+			// T was validated positive, so an empty result means the range
+			// had no sampling mass at flush time.
+			r.out <- result[[]K]{err: ErrEmptyRange}
+		default:
+			st.counters.samplesReturned.Add(uint64(len(results[i])))
+			r.out <- result[[]K]{v: results[i]}
+		}
+	}
+}
+
+// Insert stores items in the named dataset, coalescing with concurrently-
+// arriving insert requests into one backend InsertBatch call. Weights are
+// validated before admission on weighted datasets (unweighted datasets
+// ignore them), so a merged batch cannot fail validation. It returns the
+// number of items stored. The items slice must not be mutated until Insert
+// returns.
+func (c *Core[K]) Insert(name string, items []Item[K]) (int, error) {
+	st, err := c.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(items) == 0 {
+		return 0, nil
+	}
+	if st.ds.Weighted() {
+		for _, it := range items {
+			if !weighted.ValidWeight(it.Weight) {
+				return 0, ErrInvalidWeight
+			}
+		}
+	}
+	st.counters.insertRequests.Add(1)
+	n, err := st.inserts.submit(items)
+	if errors.Is(err, ErrOverloaded) {
+		st.counters.insertRejected.Add(1)
+	}
+	return n, err
+}
+
+// flushInserts concatenates one coalesced batch of insert requests and
+// stores it with a single InsertBatch call.
+func (st *dsState[K]) flushInserts(batch []request[[]Item[K], int]) {
+	st.counters.insertBatches.Add(1)
+	total := 0
+	for _, r := range batch {
+		total += len(r.q)
+	}
+	items := make([]Item[K], 0, total)
+	for _, r := range batch {
+		items = append(items, r.q...)
+	}
+	err := st.ds.InsertItems(items)
+	if err == nil {
+		st.counters.itemsInserted.Add(uint64(total))
+	}
+	for _, r := range batch {
+		if err != nil {
+			r.out <- result[int]{err: err}
+		} else {
+			r.out <- result[int]{v: len(r.q)}
+		}
+	}
+}
+
+// Delete removes one occurrence of each key from the named dataset,
+// returning how many were present and removed. Deletes go straight to
+// DeleteBatch — the request body is already a batch — and remain subject
+// to the shutdown gate.
+func (c *Core[K]) Delete(name string, keys []K) (int, error) {
+	st, err := c.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	st.counters.deleteRequests.Add(1)
+	n := st.ds.DeleteKeys(keys)
+	st.counters.keysDeleted.Add(uint64(n))
+	return n, nil
+}
+
+// Stats returns a snapshot of every dataset's serving counters and
+// topology, in name order.
+func (c *Core[K]) Stats() Stats {
+	c.mu.RLock()
+	states := make([]*dsState[K], 0, len(c.byName))
+	for _, st := range c.byName {
+		states = append(states, st)
+	}
+	c.mu.RUnlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].name < states[j].name })
+	out := Stats{Datasets: make([]DatasetStats, len(states))}
+	for i, st := range states {
+		out.Datasets[i] = st.snapshot()
+	}
+	return out
+}
+
+// Close stops admitting work and drains: every request accepted before
+// Close is answered before Close returns. Later calls to Sample, Insert,
+// or Delete fail with ErrShuttingDown. Safe to call more than once.
+func (c *Core[K]) Close() {
+	c.mu.Lock()
+	c.closed = true
+	states := make([]*dsState[K], 0, len(c.byName))
+	for _, st := range c.byName {
+		states = append(states, st)
+	}
+	c.mu.Unlock()
+	for _, st := range states {
+		st.samples.close()
+		st.inserts.close()
+	}
+}

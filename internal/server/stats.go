@@ -1,0 +1,91 @@
+package server
+
+import "sync/atomic"
+
+// counters is the live per-dataset instrumentation, updated atomically on
+// every request path so /stats never takes a lock a hot path contends on.
+type counters struct {
+	sampleRequests  atomic.Uint64
+	sampleRejected  atomic.Uint64
+	sampleBatches   atomic.Uint64
+	samplesReturned atomic.Uint64
+	maxCoalesced    atomic.Uint64
+
+	insertRequests atomic.Uint64
+	insertRejected atomic.Uint64
+	insertBatches  atomic.Uint64
+	itemsInserted  atomic.Uint64
+
+	deleteRequests atomic.Uint64
+	keysDeleted    atomic.Uint64
+}
+
+// noteSampleBatch records one flushed sample batch of n coalesced requests.
+func (c *counters) noteSampleBatch(n int) {
+	c.sampleBatches.Add(1)
+	for {
+		cur := c.maxCoalesced.Load()
+		if uint64(n) <= cur || c.maxCoalesced.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
+
+// DatasetStats is a point-in-time snapshot of one dataset's serving
+// counters. SampleBatches versus SampleRequests is the coalescing ratio:
+// how many backend SampleMany calls served how many client requests.
+type DatasetStats struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"` // "unweighted" or "weighted"
+	Len    int    `json:"len"`
+	Shards int    `json:"shards"`
+
+	SampleRequests  uint64 `json:"sample_requests"`
+	SampleRejected  uint64 `json:"sample_rejected"` // backpressure rejections
+	SampleBatches   uint64 `json:"sample_batches"`  // backend SampleMany calls
+	SamplesReturned uint64 `json:"samples_returned"`
+	MaxCoalesced    uint64 `json:"max_coalesced"` // largest sample batch so far
+
+	InsertRequests uint64 `json:"insert_requests"`
+	InsertRejected uint64 `json:"insert_rejected"`
+	InsertBatches  uint64 `json:"insert_batches"` // backend InsertBatch calls
+	ItemsInserted  uint64 `json:"items_inserted"`
+
+	DeleteRequests uint64 `json:"delete_requests"`
+	KeysDeleted    uint64 `json:"keys_deleted"`
+}
+
+// Stats is the full serving snapshot, one entry per dataset in name order.
+type Stats struct {
+	Datasets []DatasetStats `json:"datasets"`
+}
+
+// snapshot reads the counters plus the structure's topology.
+func (st *dsState[K]) snapshot() DatasetStats {
+	kind := "unweighted"
+	if st.ds.Weighted() {
+		kind = "weighted"
+	}
+	topo := st.ds.Stats()
+	c := &st.counters
+	return DatasetStats{
+		Name:   st.name,
+		Kind:   kind,
+		Len:    topo.Len,
+		Shards: topo.Shards,
+
+		SampleRequests:  c.sampleRequests.Load(),
+		SampleRejected:  c.sampleRejected.Load(),
+		SampleBatches:   c.sampleBatches.Load(),
+		SamplesReturned: c.samplesReturned.Load(),
+		MaxCoalesced:    c.maxCoalesced.Load(),
+
+		InsertRequests: c.insertRequests.Load(),
+		InsertRejected: c.insertRejected.Load(),
+		InsertBatches:  c.insertBatches.Load(),
+		ItemsInserted:  c.itemsInserted.Load(),
+
+		DeleteRequests: c.deleteRequests.Load(),
+		KeysDeleted:    c.keysDeleted.Load(),
+	}
+}

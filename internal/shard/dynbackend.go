@@ -78,23 +78,38 @@ var _ core.Sampler[int] = (*Concurrent[int])(nil)
 
 // New returns an empty Concurrent that will grow toward target shards as
 // data arrives (split points are learned by the automatic rebalance once
-// shards fill up). target < 1 is treated as 1.
+// shards fill up). target < 1 is treated as 1. Equivalent to NewSeeded with
+// seed 0.
 func New[K cmp.Ordered](target int) *Concurrent[K] {
+	return NewSeeded[K](target, 0)
+}
+
+// NewSeeded is New with an explicit seed anchoring the structure's
+// NewStream sequence, the symmetric counterpart of NewWeighted's seed
+// parameter. The seed never influences any sampling distribution.
+func NewSeeded[K cmp.Ordered](target int, seed uint64) *Concurrent[K] {
 	c := &Concurrent[K]{}
-	c.init(dynOps[K](), target)
+	c.init(dynOps[K](), target, seed)
 	return c
 }
 
 // NewFromSorted bulk-loads a Concurrent from sorted keys, learning
 // equi-depth split points so each of the (up to) shards shards starts with
 // an equal share of the data. Returns core.ErrUnsorted on unsorted input.
+// Equivalent to NewFromSortedSeeded with seed 0.
 func NewFromSorted[K cmp.Ordered](keys []K, shards int) (*Concurrent[K], error) {
+	return NewFromSortedSeeded(keys, shards, 0)
+}
+
+// NewFromSortedSeeded is NewFromSorted with an explicit seed anchoring the
+// structure's NewStream sequence.
+func NewFromSortedSeeded[K cmp.Ordered](keys []K, shards int, seed uint64) (*Concurrent[K], error) {
 	for i := 1; i < len(keys); i++ {
 		if keys[i-1] > keys[i] {
 			return nil, core.ErrUnsorted
 		}
 	}
-	c := New[K](shards)
+	c := NewSeeded[K](shards, seed)
 	c.rebuildFromSorted(keys, shards)
 	return c, nil
 }

@@ -114,6 +114,9 @@ type engine[K cmp.Ordered, I any, B Backend[K, I]] struct {
 	rebalanceN  atomic.Int64 // total size at the last rebalance (rate limiter)
 	scratch     sync.Pool    // *queryScratch[K]
 	runPool     sync.Pool    // Run, for the per-shard parallel fan-out
+
+	streamSeed uint64        // base seed of the NewStream sequence (stream.go)
+	streamCtr  atomic.Uint64 // streams handed out so far
 }
 
 // getRun and putRun pool backend sampling scratch for the parallel fan-out
@@ -136,13 +139,15 @@ type shardState[K cmp.Ordered, I any, B Backend[K, I]] struct {
 
 // init prepares an empty engine that will grow toward target shards as
 // data arrives (split points are learned by the automatic rebalance once
-// shards fill up). target < 1 is treated as 1.
-func (c *engine[K, I, B]) init(ops backendOps[K, I, B], target int) {
+// shards fill up). target < 1 is treated as 1. seed anchors the NewStream
+// sequence (see stream.go); it never influences any sampling distribution.
+func (c *engine[K, I, B]) init(ops backendOps[K, I, B], target int, seed uint64) {
 	if target < 1 {
 		target = 1
 	}
 	c.ops = ops
 	c.target = target
+	c.streamSeed = seed
 	c.shards = []*shardState[K, I, B]{{b: ops.new()}}
 }
 

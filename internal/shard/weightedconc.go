@@ -112,11 +112,11 @@ var _ weighted.Sampler[int] = (*WeightedConcurrent[int])(nil)
 
 // NewWeighted returns an empty WeightedConcurrent that will grow toward
 // target shards as data arrives. seed drives the per-shard treap
-// rebalancing priorities only (never the sampling distribution); target < 1
-// is treated as 1.
+// rebalancing priorities and anchors the NewStream sequence — never the
+// sampling distribution; target < 1 is treated as 1.
 func NewWeighted[K cmp.Ordered](target int, seed uint64) *WeightedConcurrent[K] {
 	w := &WeightedConcurrent[K]{}
-	w.init(weightedOps[K](seed), target)
+	w.init(weightedOps[K](seed), target, seed)
 	return w
 }
 

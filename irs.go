@@ -42,6 +42,24 @@
 // An *RNG must never be shared between goroutines; derive an independent
 // per-goroutine stream with RNG.Split.
 //
+// The seeding contract: a structure's seed parameter never influences any
+// sampling distribution — every query is exactly uniform (or exactly
+// weight-proportional) for every seed. What a seed determines is
+// reproducibility plumbing:
+//
+//   - treap rebalancing priorities (weighted structures), which affect tree
+//     shape and therefore only running time;
+//   - the NewStream sequence of Concurrent and WeightedConcurrent: the i-th
+//     NewStream call returns the i-th generator of a fixed seed-determined
+//     sequence, so consumers that draw their RNGs from the structure — such
+//     as the irsd serving layer — replay sampling exactly for a fixed seed
+//     when streams are consumed and queries issued in a deterministic
+//     order (for irsd: serialized requests, single flusher).
+//
+// NewConcurrentSeeded and NewConcurrentFromSortedSeeded are the seeded
+// unweighted constructors, symmetric with NewWeightedConcurrent's seed
+// parameter; the unseeded constructors are the seed-0 special case.
+//
 // The concurrency contract has three tiers:
 //
 //   - Static and the other immutable structures (the static weighted

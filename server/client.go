@@ -1,0 +1,121 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the typed Go client of the irsd JSON protocol. It is safe for
+// concurrent use; the zero HTTPClient means http.DefaultClient.
+type Client struct {
+	base string
+	// HTTPClient overrides the transport (timeouts, connection pooling).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at base, e.g.
+// "http://127.0.0.1:8080".
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/")}
+}
+
+// APIError is a decoded irsd error response. Unwrap yields the matching
+// sentinel (ErrOverloaded, ErrEmptyRange, ...), so
+// errors.Is(err, server.ErrOverloaded) works across the wire.
+type APIError struct {
+	Code    string // wire code, e.g. "overloaded"
+	Message string // human-readable server message
+	Status  int    // HTTP status
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("irsd: %s (http %d): %s", e.Code, e.Status, e.Message)
+}
+
+func (e *APIError) Unwrap() error { return codeToErr[e.Code] }
+
+// Sample requests t independent samples from [lo, hi] of dataset (empty
+// selects the daemon's sole dataset).
+func (c *Client) Sample(ctx context.Context, dataset string, lo, hi float64, t int) ([]float64, error) {
+	var resp SampleResponse
+	err := c.post(ctx, "/sample", SampleRequest{Dataset: dataset, Lo: lo, Hi: hi, T: t}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Samples, nil
+}
+
+// InsertKeys stores keys with unit weight, returning how many were stored.
+func (c *Client) InsertKeys(ctx context.Context, dataset string, keys []float64) (int, error) {
+	var resp InsertResponse
+	err := c.post(ctx, "/insert", InsertRequest{Dataset: dataset, Keys: keys}, &resp)
+	return resp.Inserted, err
+}
+
+// InsertItems stores weighted items, returning how many were stored.
+func (c *Client) InsertItems(ctx context.Context, dataset string, items []Item) (int, error) {
+	var resp InsertResponse
+	err := c.post(ctx, "/insert", InsertRequest{Dataset: dataset, Items: items}, &resp)
+	return resp.Inserted, err
+}
+
+// Delete removes one occurrence of each key, returning how many were
+// present and removed.
+func (c *Client) Delete(ctx context.Context, dataset string, keys []float64) (int, error) {
+	var resp DeleteResponse
+	err := c.post(ctx, "/delete", DeleteRequest{Dataset: dataset, Keys: keys}, &resp)
+	return resp.Removed, err
+}
+
+// Stats fetches the serving snapshot of every dataset.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return out, err
+	}
+	return out, c.do(req, &out)
+}
+
+// post marshals in, POSTs it, and decodes the 2xx body into out (or a
+// non-2xx body into an *APIError).
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		var envelope ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
+			return &APIError{Code: "internal", Message: "undecodable error body", Status: resp.StatusCode}
+		}
+		return &APIError{Code: envelope.Error.Code, Message: envelope.Error.Message, Status: resp.StatusCode}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,100 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/irsgo/irs/server"
+)
+
+// TestHTTPRace hammers the daemon end to end — coalesced samplers against
+// inserters, deleters, and stats readers, over both dataset kinds, through
+// real HTTP — and finishes by closing the server under fire. The value is
+// under -race (CI runs it): any unsynchronized state in the handler,
+// coalescer, scatter, or stats paths surfaces here.
+func TestHTTPRace(t *testing.T) {
+	s, cl, _, stop := newTestDaemon(t, server.Config{
+		CoalesceWindow: 200 * time.Microsecond,
+		MaxBatch:       16,
+	}, 2000)
+	defer stop()
+	ctx := context.Background()
+
+	ok := func(err error) bool {
+		return err == nil || errors.Is(err, server.ErrOverloaded) ||
+			errors.Is(err, server.ErrShuttingDown) || errors.Is(err, server.ErrEmptyRange)
+	}
+	const iters = 60
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := "u"
+			if g%2 == 1 {
+				name = "w"
+			}
+			for i := 0; i < iters; i++ {
+				if _, err := cl.Sample(ctx, name, 0, 1999, 6); !ok(err) {
+					t.Errorf("sample %s: %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := float64(10_000 + g*iters + i)
+				if g == 0 {
+					if _, err := cl.InsertKeys(ctx, "u", []float64{key}); !ok(err) {
+						t.Errorf("insert: %v", err)
+						return
+					}
+					if _, err := cl.Delete(ctx, "u", []float64{key}); !ok(err) {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				} else {
+					if _, err := cl.InsertItems(ctx, "w", []server.Item{{Key: key, Weight: 2}}); !ok(err) {
+						t.Errorf("insert w: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := cl.Stats(ctx); err != nil {
+				t.Errorf("stats: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Close under fire: the drain must answer or reject cleanly.
+	var closing sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		closing.Add(1)
+		go func() {
+			defer closing.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := cl.Sample(ctx, "u", 0, 1999, 2); !ok(err) {
+					t.Errorf("sample during close: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	s.Close()
+	closing.Wait()
+}

@@ -1,0 +1,258 @@
+// Package server is irsd's HTTP/JSON serving layer over the concurrent IRS
+// structures: an embeddable http.Handler plus a typed client. The heavy
+// lifting — request coalescing into SampleMany/InsertBatch, bounded-queue
+// admission control, graceful drain, live stats — lives in the transport-
+// agnostic core (internal/server); this package speaks JSON over four
+// endpoints and maps the core's typed errors to wire codes:
+//
+//	POST /sample  {"dataset":"d","lo":0,"hi":9,"t":3}  -> {"dataset":"d","samples":[...]}
+//	POST /insert  {"dataset":"d","keys":[1,2]}          -> {"dataset":"d","inserted":2}
+//	              {"dataset":"w","items":[{"key":1,"weight":2.5}]}
+//	POST /delete  {"dataset":"d","keys":[1,2]}          -> {"dataset":"d","removed":2}
+//	GET  /stats                                         -> {"datasets":[...]}
+//
+// The dataset field may be omitted when exactly one dataset is registered.
+// Errors arrive as {"error":{"code":"...","message":"..."}} with the
+// status codes listed at errCodeStatus; the typed client converts codes
+// back into the exported sentinel errors, so errors.Is works end to end.
+//
+// Keys on the wire are float64 (JSON numbers). Server coalescing preserves
+// the IRS contract — per-sample uniformity and independence across
+// coalesced requests — verified through the full HTTP stack by this
+// package's chi-square and independence suites.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	irs "github.com/irsgo/irs"
+	srv "github.com/irsgo/irs/internal/server"
+)
+
+// Config holds the admission-control and coalescing knobs, applied per
+// dataset and per path: QueueDepth (pending-request bound; full queues
+// answer 503 overloaded), MaxBatch (requests per coalesced backend call),
+// CoalesceWindow (linger time for batch-mates; 0 = opportunistic only),
+// and Flushers (parallel backend calls in flight). Zero values take the
+// core's defaults.
+type Config = srv.Config
+
+// Stats and DatasetStats are the /stats payload.
+type (
+	Stats        = srv.Stats
+	DatasetStats = srv.DatasetStats
+)
+
+// Item is one /insert element; Weight is ignored by unweighted datasets.
+type Item = srv.Item[float64]
+
+// The serving errors, re-exported so both embedders and client users can
+// errors.Is against one vocabulary.
+var (
+	ErrUnknownDataset   = srv.ErrUnknownDataset
+	ErrAmbiguousDataset = srv.ErrAmbiguousDataset
+	ErrDuplicateDataset = srv.ErrDuplicateDataset
+	ErrInvalidRange     = srv.ErrInvalidRange
+	ErrInvalidCount     = srv.ErrInvalidCount
+	ErrInvalidWeight    = srv.ErrInvalidWeight
+	ErrEmptyRange       = srv.ErrEmptyRange
+	ErrOverloaded       = srv.ErrOverloaded
+	ErrShuttingDown     = srv.ErrShuttingDown
+)
+
+// maxBodyBytes bounds request bodies; a megabyte-scale insert batch is the
+// intended granularity, anything larger should arrive as several requests.
+const maxBodyBytes = 8 << 20
+
+// Server is the HTTP serving layer: register datasets, then serve it like
+// any http.Handler. Safe for concurrent use once serving has started;
+// AddUnweighted/AddWeighted are intended for setup time.
+type Server struct {
+	core *srv.Core[float64]
+	mux  *http.ServeMux
+}
+
+// New returns a Server with no datasets.
+func New(cfg Config) *Server {
+	s := &Server{core: srv.NewCore[float64](cfg), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/sample", s.handleSample)
+	s.mux.HandleFunc("/insert", s.handleInsert)
+	s.mux.HandleFunc("/delete", s.handleDelete)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// AddUnweighted registers c under name; samples are uniform over range
+// contents and insert weights are ignored.
+func (s *Server) AddUnweighted(name string, c *irs.Concurrent[float64]) error {
+	return s.core.Add(name, srv.NewUnweightedDataset(c))
+}
+
+// AddWeighted registers w under name; samples are weight-proportional and
+// inserts carry validated weights.
+func (s *Server) AddWeighted(name string, w *irs.WeightedConcurrent[float64]) error {
+	return s.core.Add(name, srv.NewWeightedDataset(w))
+}
+
+// Close stops admitting requests and drains every request accepted so far;
+// in-flight requests are answered, later ones get 503 shutting_down. Call
+// it after the HTTP listener has stopped accepting (http.Server.Shutdown)
+// for a fully graceful stop, though any order is safe.
+func (s *Server) Close() { s.core.Close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/sample", "/insert", "/delete", "/stats":
+		s.mux.ServeHTTP(w, r)
+	default:
+		writeError(w, http.StatusNotFound, "not_found", "no such endpoint: "+r.URL.Path)
+	}
+}
+
+// resolveName turns a request's dataset field into the name echoed in the
+// response. Only the empty name needs resolving (to the sole dataset); an
+// explicit name is echoed as-is and validated by the core call itself, so
+// the common case costs a single lookup.
+func (s *Server) resolveName(name string) (string, error) {
+	if name != "" {
+		return name, nil
+	}
+	return s.core.Resolve("")
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	var req SampleRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	name, err := s.resolveName(req.Dataset)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	samples, err := s.core.Sample(name, req.Lo, req.Hi, req.T)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SampleResponse{Dataset: name, Samples: samples})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	name, err := s.resolveName(req.Dataset)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	items := make([]Item, 0, len(req.Keys)+len(req.Items))
+	for _, k := range req.Keys {
+		items = append(items, Item{Key: k, Weight: 1})
+	}
+	items = append(items, req.Items...)
+	n, err := s.core.Insert(name, items)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{Dataset: name, Inserted: n})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	name, err := s.resolveName(req.Dataset)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	n, err := s.core.Delete(name, req.Keys)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Dataset: name, Removed: n})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.core.Stats())
+}
+
+// readJSON decodes a strict JSON body into dst, answering the error itself
+// (and returning false) on malformed input or a wrong method.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// errCodeStatus maps a core error to its wire code and HTTP status.
+func errCodeStatus(err error) (code string, status int) {
+	switch {
+	case errors.Is(err, ErrUnknownDataset):
+		return "unknown_dataset", http.StatusNotFound
+	case errors.Is(err, ErrAmbiguousDataset):
+		return "ambiguous_dataset", http.StatusBadRequest
+	case errors.Is(err, ErrInvalidRange):
+		return "invalid_range", http.StatusBadRequest
+	case errors.Is(err, ErrInvalidCount):
+		return "invalid_count", http.StatusBadRequest
+	case errors.Is(err, ErrInvalidWeight):
+		return "invalid_weight", http.StatusBadRequest
+	case errors.Is(err, ErrEmptyRange):
+		return "empty_range", http.StatusUnprocessableEntity
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded", http.StatusServiceUnavailable
+	case errors.Is(err, ErrShuttingDown):
+		return "shutting_down", http.StatusServiceUnavailable
+	default:
+		return "internal", http.StatusInternalServerError
+	}
+}
+
+// codeToErr is the client-side inverse of errCodeStatus.
+var codeToErr = map[string]error{
+	"unknown_dataset":   ErrUnknownDataset,
+	"ambiguous_dataset": ErrAmbiguousDataset,
+	"invalid_range":     ErrInvalidRange,
+	"invalid_count":     ErrInvalidCount,
+	"invalid_weight":    ErrInvalidWeight,
+	"empty_range":       ErrEmptyRange,
+	"overloaded":        ErrOverloaded,
+	"shutting_down":     ErrShuttingDown,
+}
+
+func writeCoreError(w http.ResponseWriter, err error) {
+	code, status := errCodeStatus(err)
+	writeError(w, status, code, err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorResponse{Error: WireError{Code: code, Message: message}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,56 @@
+package server
+
+// Wire types of the irsd JSON protocol. The Dataset field of every request
+// may be empty when exactly one dataset is registered; responses always
+// echo the resolved name.
+
+// SampleRequest asks for T independent samples from [Lo, Hi].
+type SampleRequest struct {
+	Dataset string  `json:"dataset,omitempty"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+	T       int     `json:"t"`
+}
+
+// SampleResponse carries the T samples, in draw order.
+type SampleResponse struct {
+	Dataset string    `json:"dataset"`
+	Samples []float64 `json:"samples"`
+}
+
+// InsertRequest stores keys and/or weighted items. Keys is shorthand for
+// unit-weight items; on unweighted datasets all weights are ignored.
+type InsertRequest struct {
+	Dataset string    `json:"dataset,omitempty"`
+	Keys    []float64 `json:"keys,omitempty"`
+	Items   []Item    `json:"items,omitempty"`
+}
+
+// InsertResponse reports how many items were stored.
+type InsertResponse struct {
+	Dataset  string `json:"dataset"`
+	Inserted int    `json:"inserted"`
+}
+
+// DeleteRequest removes one occurrence of each key.
+type DeleteRequest struct {
+	Dataset string    `json:"dataset,omitempty"`
+	Keys    []float64 `json:"keys,omitempty"`
+}
+
+// DeleteResponse reports how many keys were present and removed.
+type DeleteResponse struct {
+	Dataset string `json:"dataset"`
+	Removed int    `json:"removed"`
+}
+
+// ErrorResponse is the error envelope every non-2xx response carries.
+type ErrorResponse struct {
+	Error WireError `json:"error"`
+}
+
+// WireError is a machine-readable code plus a human-readable message.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

@@ -33,7 +33,9 @@ type WeightedConcurrent[K cmp.Ordered] = shard.WeightedConcurrent[K]
 // toward shards shards as data arrives: split points are learned
 // automatically once there is enough data to balance, and re-learned when a
 // shard drifts far from its fair share. seed drives the per-shard treap
-// rebalancing priorities only, never the sampling distribution.
+// rebalancing priorities and anchors the NewStream sequence (see the
+// seeding contract in the package documentation) — never the sampling
+// distribution.
 func NewWeightedConcurrent[K cmp.Ordered](shards int, seed uint64) *WeightedConcurrent[K] {
 	return shard.NewWeighted[K](shards, seed)
 }
