@@ -7,19 +7,31 @@
 //
 //	irsd -addr 127.0.0.1:8080 -datasets events,logs:weighted
 //	irsd -addr 127.0.0.1:0 -datasets demo -preload 100000
+//	irsd -addr 127.0.0.1:8080 -datasets events -data-dir /var/lib/irsd
 //
 // Endpoints (see package github.com/irsgo/irs/server for the protocol and
 // a typed client):
 //
-//	POST /sample  {"dataset":"events","lo":0,"hi":9,"t":3}
-//	POST /insert  {"dataset":"events","keys":[1,2,3]}
-//	POST /delete  {"dataset":"events","keys":[1]}
+//	POST /sample    {"dataset":"events","lo":0,"hi":9,"t":3}
+//	POST /insert    {"dataset":"events","keys":[1,2,3]}
+//	POST /delete    {"dataset":"events","keys":[1]}
+//	POST /update    {"dataset":"prio","items":[{"key":1,"weight":9}]}
+//	POST /snapshot  {"dataset":"events"}
 //	GET  /stats
+//
+// With -data-dir set, every dataset is durable: mutations are written
+// ahead to a per-dataset WAL under <data-dir>/<name> (fsync policy from
+// -fsync), snapshots compact the log (on demand via /snapshot and
+// periodically via -snapshot-every), and a restart on the same directory
+// recovers the exact dataset state — newest snapshot plus WAL tail, with
+// a torn final record truncated. Exactly one irsd may own a data
+// directory at a time.
 //
 // With -addr ending in :0 the kernel picks a free port; the chosen address
 // is printed as "irsd: serving on http://..." so wrappers can scrape it.
 // SIGINT/SIGTERM trigger a graceful stop: the listener closes, in-flight
-// and queued requests are answered, then the process exits 0.
+// and queued requests are answered, WALs are synced, then the process
+// exits 0.
 package main
 
 import (
@@ -31,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -51,6 +64,11 @@ func main() {
 		maxBatch = flag.Int("max-batch", 0, "max coalesced requests per backend call (0 = default)")
 		window   = flag.Duration("coalesce-window", 100*time.Microsecond, "linger time for batch-mates (0 = opportunistic only)")
 		flushers = flag.Int("flushers", 0, "parallel backend calls per dataset and path (0 = GOMAXPROCS)")
+
+		dataDir   = flag.String("data-dir", "", "durability root: one WAL+snapshot directory per dataset (empty = memory-only)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval, or none")
+		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
+		snapEvery = flag.Duration("snapshot-every", 15*time.Minute, "background snapshot/compaction period for durable datasets (0 disables)")
 	)
 	flag.Parse()
 
@@ -60,8 +78,37 @@ func main() {
 		CoalesceWindow: *window,
 		Flushers:       *flushers,
 	})
-	if err := addDatasets(s, *datasets, *shards, *seed, *preload); err != nil {
+	names, err := addDatasets(s, *datasets, *shards, *seed, *preload, *dataDir, *fsync, *fsyncIvl)
+	if err != nil {
 		log.Fatalf("irsd: %v", err)
+	}
+
+	// Background snapshots bound WAL replay time after a crash; each run
+	// compacts the segments it covers.
+	snapStop := make(chan struct{})
+	snapDone := make(chan struct{})
+	if *dataDir != "" && *snapEvery > 0 {
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					for _, name := range names {
+						if info, err := s.Snapshot(name); err != nil {
+							log.Printf("irsd: background snapshot %q: %v", name, err)
+						} else {
+							log.Printf("irsd: snapshot %q: %d items, wal seq %d compacted", name, info.Items, info.Seq)
+						}
+					}
+				case <-snapStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -93,63 +140,151 @@ func main() {
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("irsd: serve: %v", err)
 	}
-	s.Close() // drain the coalescers: every accepted request is answered
+	close(snapStop)
+	<-snapDone
+	// Drain the coalescers (every accepted request is answered), then sync
+	// and close the WALs.
+	if err := s.Close(); err != nil {
+		log.Printf("irsd: close: %v", err)
+	}
 	fmt.Println("irsd: drained, bye")
 }
 
-// addDatasets parses "name[:kind]" specs and registers each dataset,
-// optionally preloaded with uniform keys.
-func addDatasets(s *server.Server, specs string, shards int, seed uint64, preload int) error {
-	added := 0
+// addDatasets parses "name[:kind]" specs and registers each dataset —
+// durable when dataDir is set, memory-only otherwise — optionally
+// preloaded with uniform keys. It returns the registered names.
+func addDatasets(s *server.Server, specs string, shards int, seed uint64, preload int, dataDir, fsync string, fsyncIvl time.Duration) ([]string, error) {
+	var policy server.SyncPolicy
+	if dataDir != "" {
+		var err error
+		if policy, err = server.ParseSyncPolicy(fsync); err != nil {
+			return nil, err
+		}
+	}
+	var names []string
 	for _, spec := range strings.Split(specs, ",") {
 		spec = strings.TrimSpace(spec)
 		if spec == "" {
 			continue
 		}
 		name, kind, _ := strings.Cut(spec, ":")
-		rng := irs.NewRNG(seed)
-		switch kind {
-		case "", "unweighted":
-			c := irs.NewConcurrentSeeded[float64](shards, seed)
-			if preload > 0 {
-				keys := make([]float64, preload)
-				for i := range keys {
-					keys[i] = rng.Float64Range(0, 1e6)
-				}
-				c.InsertBatch(keys)
-			}
-			if err := s.AddUnweighted(name, c); err != nil {
-				return err
-			}
-		case "weighted":
-			w := irs.NewWeightedConcurrent[float64](shards, seed)
-			if preload > 0 {
-				items := make([]irs.WeightedItem[float64], preload)
-				for i := range items {
-					items[i] = irs.WeightedItem[float64]{Key: rng.Float64Range(0, 1e6), Weight: 1 + rng.Float64()}
-				}
-				if err := w.InsertBatch(items); err != nil {
-					return err
-				}
-			}
-			if err := s.AddWeighted(name, w); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("dataset %q: unknown kind %q (want weighted or unweighted)", name, kind)
+		if kind == "" {
+			kind = "unweighted"
 		}
-		added++
-		log.Printf("irsd: dataset %q (%s), %d shard target, preload %d", name, orUnweighted(kind), shards, preload)
+		if kind != "weighted" && kind != "unweighted" {
+			return nil, fmt.Errorf("dataset %q: unknown kind %q (want weighted or unweighted)", name, kind)
+		}
+		if dataDir == "" {
+			if err := addMemoryDataset(s, name, kind, shards, seed, preload); err != nil {
+				return nil, err
+			}
+			log.Printf("irsd: dataset %q (%s), %d shard target, preload %d", name, kind, shards, preload)
+		} else {
+			if err := addDurableDataset(s, name, kind, shards, seed, preload, dataDir, policy, fsyncIvl); err != nil {
+				return nil, err
+			}
+		}
+		names = append(names, name)
 	}
-	if added == 0 {
-		return errors.New("no datasets configured")
+	if len(names) == 0 {
+		return nil, errors.New("no datasets configured")
 	}
+	return names, nil
+}
+
+// addMemoryDataset registers one memory-only dataset (the pre-durability
+// irsd behavior).
+func addMemoryDataset(s *server.Server, name, kind string, shards int, seed uint64, preload int) error {
+	rng := irs.NewRNG(seed)
+	if kind == "weighted" {
+		w := irs.NewWeightedConcurrent[float64](shards, seed)
+		if preload > 0 {
+			if err := w.InsertBatch(preloadItems(rng, preload)); err != nil {
+				return err
+			}
+		}
+		return s.AddWeighted(name, w)
+	}
+	c := irs.NewConcurrentSeeded[float64](shards, seed)
+	if preload > 0 {
+		c.InsertBatch(preloadKeys(rng, preload))
+	}
+	return s.AddUnweighted(name, c)
+}
+
+// addDurableDataset recovers one dataset from <dataDir>/<name> and
+// registers it durable. Preloading only applies when the directory held
+// nothing (a restart must not re-preload on top of recovered data); the
+// preload bypasses the WAL, so it is made durable by an immediate
+// snapshot — all before the listener starts.
+func addDurableDataset(s *server.Server, name, kind string, shards int, seed uint64, preload int, dataDir string, policy server.SyncPolicy, fsyncIvl time.Duration) error {
+	opts := server.DurableOptions{
+		Dir:          filepath.Join(dataDir, name),
+		Sync:         policy,
+		SyncInterval: fsyncIvl,
+		Shards:       shards,
+		Seed:         seed,
+	}
+	rng := irs.NewRNG(seed)
+	var recovered server.Recovery
+	var length int
+	// Preload only a directory with no history at all: a recovered dataset
+	// that happens to be empty (everything deliberately deleted) must stay
+	// empty across restarts.
+	fresh := func(rec server.Recovery) bool {
+		return rec.SnapshotSeq == 0 && rec.RecordsReplayed == 0
+	}
+	switch kind {
+	case "weighted":
+		w, rec, err := s.AddDurableWeighted(name, opts)
+		if err != nil {
+			return fmt.Errorf("dataset %q: %w", name, err)
+		}
+		recovered = rec
+		if fresh(rec) && preload > 0 {
+			if err := w.InsertBatch(preloadItems(rng, preload)); err != nil {
+				return err
+			}
+			if _, err := s.Snapshot(name); err != nil {
+				return fmt.Errorf("dataset %q: preload snapshot: %w", name, err)
+			}
+		}
+		length = w.Len()
+	default:
+		c, rec, err := s.AddDurableUnweighted(name, opts)
+		if err != nil {
+			return fmt.Errorf("dataset %q: %w", name, err)
+		}
+		recovered = rec
+		if fresh(rec) && preload > 0 {
+			c.InsertBatch(preloadKeys(rng, preload))
+			if _, err := s.Snapshot(name); err != nil {
+				return fmt.Errorf("dataset %q: preload snapshot: %w", name, err)
+			}
+		}
+		length = c.Len()
+	}
+	torn := ""
+	if recovered.TornTail {
+		torn = ", torn tail truncated"
+	}
+	log.Printf("irsd: dataset %q (%s, durable): recovered %d items (snapshot seq %d: %d items, %d WAL records replayed%s)",
+		name, kind, length, recovered.SnapshotSeq, recovered.SnapshotEntries, recovered.RecordsReplayed, torn)
 	return nil
 }
 
-func orUnweighted(kind string) string {
-	if kind == "" {
-		return "unweighted"
+func preloadKeys(rng *irs.RNG, n int) []float64 {
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.Float64Range(0, 1e6)
 	}
-	return kind
+	return keys
+}
+
+func preloadItems(rng *irs.RNG, n int) []irs.WeightedItem[float64] {
+	items := make([]irs.WeightedItem[float64], n)
+	for i := range items {
+		items[i] = irs.WeightedItem[float64]{Key: rng.Float64Range(0, 1e6), Weight: 1 + rng.Float64()}
+	}
+	return items
 }

@@ -34,15 +34,20 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "", "base URL of a running daemon; empty self-hosts one in-process")
-		n       = flag.Int("n", 2000, "keys to insert")
-		clients = flag.Int("clients", 16, "concurrent sampling clients")
-		reqs    = flag.Int("requests", 50, "sample requests per client")
+		addr      = flag.String("addr", "", "base URL of a running daemon; empty self-hosts one in-process")
+		n         = flag.Int("n", 2000, "keys to insert")
+		clients   = flag.Int("clients", 16, "concurrent sampling clients")
+		reqs      = flag.Int("requests", 50, "sample requests per client")
+		verifyLen = flag.Int("verify-len", -1, "verify-only mode: assert the sole dataset holds exactly this many keys, then exit (CI crash-recovery check)")
+		snapshot  = flag.Bool("snapshot", false, "trigger a /snapshot after the insert phase (durable daemons)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 
 	base := *addr
+	if *verifyLen >= 0 && base == "" {
+		log.Fatal("-verify-len needs -addr: it checks the state of an external daemon")
+	}
 	if base == "" {
 		var stop func()
 		var err error
@@ -57,6 +62,28 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
+	// Verify-only mode: the CI crash-recovery smoke restarts a durable
+	// daemon and asserts the key population survived, without mutating it.
+	if *verifyLen >= 0 {
+		st, err := cl.Stats(ctx)
+		if err != nil || len(st.Datasets) == 0 {
+			log.Fatalf("verify: stats: %+v err=%v", st, err)
+		}
+		d := st.Datasets[0]
+		if d.Len != *verifyLen {
+			log.Fatalf("verify: dataset %q holds %d keys, want %d", d.Name, d.Len, *verifyLen)
+		}
+		if d.Durable && d.Persist != nil {
+			fmt.Printf("verified %q: len=%d (durable; recovery: snapshot seq %d with %d items, %d WAL records replayed, torn=%v)\n",
+				d.Name, d.Len, d.Persist.Recovery.SnapshotSeq, d.Persist.Recovery.SnapshotEntries,
+				d.Persist.Recovery.RecordsReplayed, d.Persist.Recovery.TornTail)
+		} else {
+			fmt.Printf("verified %q: len=%d\n", d.Name, d.Len)
+		}
+		fmt.Println("ok")
+		return
+	}
+
 	// 1. Ingest: one batch of n keys 0..n-1 through /insert.
 	keys := make([]float64, *n)
 	for i := range keys {
@@ -67,6 +94,16 @@ func main() {
 		log.Fatalf("insert: inserted=%d err=%v", inserted, err)
 	}
 	fmt.Printf("inserted %d keys\n", inserted)
+
+	// Optionally checkpoint the population: on a durable daemon this
+	// serializes a snapshot and compacts the WAL it covers.
+	if *snapshot {
+		snap, err := cl.Snapshot(ctx, "")
+		if err != nil || snap.Items != *n {
+			log.Fatalf("snapshot: %+v err=%v", snap, err)
+		}
+		fmt.Printf("snapshot: %d items, wal seq %d compacted\n", snap.Items, snap.Seq)
+	}
 
 	// 2. One warm-up query, checked for shape.
 	lo, hi := float64(*n/4), float64(3**n/4)

@@ -1,0 +1,407 @@
+package persist
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed reports an operation on a closed Store.
+var ErrClosed = errors.New("persist: store closed")
+
+// Options configures a Store.
+type Options struct {
+	// Kind is the dataset kind recorded in snapshots (KindUnweighted or
+	// KindWeighted); opening a directory whose snapshots hold the other
+	// kind fails rather than mixing states.
+	Kind uint8
+	// Sync is the WAL fsync policy. Default (zero value): SyncAlways.
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval;
+	// <= 0 means 100ms.
+	SyncInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Kind == 0 {
+		o.Kind = KindUnweighted
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// RecoveryStats describes what Open reconstructed, for logging and /stats.
+type RecoveryStats struct {
+	SnapshotSeq     uint64 `json:"snapshot_seq"`     // 0: no snapshot found
+	SnapshotEntries int    `json:"snapshot_entries"` // entries loaded from it
+	SegmentsScanned int    `json:"segments_scanned"` // WAL segments replayed
+	RecordsReplayed int    `json:"records_replayed"` // records in the tail
+	TornTail        bool   `json:"torn_tail"`        // truncated a partial final record
+}
+
+// Recovery is the reconstructed logical state of a dataset directory:
+// the snapshot's entries (key-sorted, as exported) followed by the WAL
+// tail records to replay on top, in append order.
+type Recovery[K cmp.Ordered] struct {
+	Entries []Entry[K]
+	Records []Record[K]
+	Stats   RecoveryStats
+}
+
+// StoreStats is a point-in-time snapshot of a Store's counters.
+type StoreStats struct {
+	Records         uint64 `json:"records"`           // WAL records appended
+	Entries         uint64 `json:"entries"`           // entries across those records
+	Bytes           uint64 `json:"bytes"`             // WAL bytes appended
+	Syncs           uint64 `json:"syncs"`             // explicit fsync calls
+	Snapshots       uint64 `json:"snapshots"`         // snapshots committed
+	LastSnapshotSeq uint64 `json:"last_snapshot_seq"` // sequence of the newest
+	ActiveSegment   uint64 `json:"active_segment"`    // sequence being appended
+	WALSize         int64  `json:"wal_size"`          // bytes in the active segment
+}
+
+// Store manages one dataset's durability directory: it appends mutation
+// records to the active WAL segment and rotates it under snapshots.
+//
+// Log appends, Sync, and the snapshot protocol are individually
+// thread-safe, but exactness of recovery additionally requires that the
+// caller orders WAL appends like the in-memory applies they mirror, and
+// that no append runs between BeginSnapshot and the state export it
+// covers; the serving layer holds its per-dataset log mutex across
+// (append, apply) and across (BeginSnapshot, export) for exactly this.
+type Store[K cmp.Ordered] struct {
+	dir   string
+	codec KeyCodec[K]
+	opts  Options
+
+	mu     sync.Mutex
+	wal    *walWriter
+	active uint64 // sequence of the open segment
+	closed bool
+	stopBg chan struct{}
+	bgDone chan struct{}
+
+	records   atomic.Uint64
+	entries   atomic.Uint64
+	bytes     atomic.Uint64
+	syncs     atomic.Uint64
+	snapshots atomic.Uint64
+	lastSnap  atomic.Uint64
+}
+
+// Open recovers the dataset directory (creating it if absent) and returns
+// the store with its active WAL segment open for appending, plus the
+// recovered logical state. A torn final record — the footprint of a crash
+// mid-append — is truncated and reported in Stats.TornTail; a bad frame
+// anywhere else, or an unreadable newest snapshot, is corruption and fails
+// Open.
+func Open[K cmp.Ordered](dir string, codec KeyCodec[K], opts Options) (*Store[K], *Recovery[K], error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	// The kind marker pins the directory to one dataset kind from its very
+	// first open, so a WAL-only directory (no snapshot yet — snapshots
+	// carry their own kind byte) can never silently replay into a dataset
+	// of the other kind.
+	if err := checkKindMarker(dir, opts.Kind); err != nil {
+		return nil, nil, err
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var segs, snaps []uint64
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// An interrupted snapshot write; never renamed, so never valid.
+			_ = os.Remove(filepath.Join(dir, name))
+		default:
+			if seq, ok := parseSeq(name, "wal-", ".log"); ok {
+				segs = append(segs, seq)
+			} else if seq, ok := parseSeq(name, "snap-", ".snap"); ok {
+				snaps = append(snaps, seq)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+
+	rec := &Recovery[K]{}
+	// Newest snapshot is the base state. Renames make snapshots all-or-
+	// nothing, so an unreadable one means real corruption: fail loudly
+	// rather than silently recovering an older state whose covering
+	// segments were already compacted away.
+	var covered uint64
+	if len(snaps) > 0 {
+		seq := snaps[len(snaps)-1]
+		snapSeq, entries, err := readSnapshotFile(filepath.Join(dir, snapshotName(seq)), codec, opts.Kind)
+		if err != nil {
+			return nil, nil, err
+		}
+		if snapSeq != seq {
+			return nil, nil, fmt.Errorf("%w: %s claims sequence %d", ErrCorrupt, snapshotName(seq), snapSeq)
+		}
+		covered = seq
+		rec.Entries = entries
+		rec.Stats.SnapshotSeq = seq
+		rec.Stats.SnapshotEntries = len(entries)
+	}
+
+	// Replay segments newer than the snapshot, oldest first. Only the final
+	// segment may have a torn tail (the crash point); badness in any other
+	// segment would silently drop records that later segments build on.
+	var tail []uint64
+	for _, seq := range segs {
+		if seq > covered {
+			tail = append(tail, seq)
+		}
+	}
+	active := covered + 1
+	var activeValidLen int64
+	for i, seq := range tail {
+		validLen, n, torn, err := replaySegment(filepath.Join(dir, segmentName(seq)), codec, func(r Record[K]) error {
+			rec.Records = append(rec.Records, r)
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if torn && i != len(tail)-1 {
+			return nil, nil, fmt.Errorf("%w: %s: bad frame before the final segment", ErrCorrupt, segmentName(seq))
+		}
+		rec.Stats.SegmentsScanned++
+		rec.Stats.RecordsReplayed += n
+		rec.Stats.TornTail = rec.Stats.TornTail || torn
+		active, activeValidLen = seq, validLen
+	}
+
+	st := &Store[K]{dir: dir, codec: codec, opts: opts, active: active}
+	st.lastSnap.Store(covered)
+	st.wal, err = openSegment(dir, active, activeValidLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Compaction leftovers: segments and snapshots the newest snapshot
+	// obsoletes (a crash between snapshot rename and purge leaves them).
+	for _, seq := range segs {
+		if seq <= covered && seq != active {
+			_ = os.Remove(filepath.Join(dir, segmentName(seq)))
+		}
+	}
+	for _, seq := range snaps[:max(len(snaps)-1, 0)] {
+		_ = os.Remove(filepath.Join(dir, snapshotName(seq)))
+	}
+	if opts.Sync == SyncInterval {
+		st.stopBg = make(chan struct{})
+		st.bgDone = make(chan struct{})
+		go st.syncLoop()
+	}
+	return st, rec, nil
+}
+
+// checkKindMarker verifies (writing it on first open) the directory's
+// "kind" file against want.
+func checkKindMarker(dir string, want uint8) error {
+	path := filepath.Join(dir, "kind")
+	raw, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		if err := os.WriteFile(path, []byte(kindName(want)+"\n"), 0o644); err != nil {
+			return err
+		}
+		return syncDir(dir)
+	case err != nil:
+		return err
+	}
+	got := strings.TrimSpace(string(raw))
+	if got != kindName(want) {
+		return fmt.Errorf("persist: %s holds a %s dataset, store opened as %s", dir, got, kindName(want))
+	}
+	return nil
+}
+
+// syncLoop is the SyncInterval background fsync ticker.
+func (s *Store[K]) syncLoop() {
+	defer close(s.bgDone)
+	t := time.NewTicker(s.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.Sync()
+		case <-s.stopBg:
+			return
+		}
+	}
+}
+
+// append encodes and writes one record under the store lock, syncing per
+// policy. On any write error the record may be partially on disk — exactly
+// the torn tail replay tolerates.
+func (s *Store[K]) append(rec Record[K]) error {
+	frame, err := appendRecord(nil, s.codec, rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.wal.append(frame); err != nil {
+		return err
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := s.wal.sync(); err != nil {
+			return err
+		}
+		s.syncs.Add(1)
+	}
+	s.records.Add(1)
+	s.entries.Add(uint64(len(rec.Entries)))
+	s.bytes.Add(uint64(len(frame)))
+	return nil
+}
+
+// LogInsert appends one insert record covering entries.
+func (s *Store[K]) LogInsert(entries []Entry[K]) error {
+	return s.append(Record[K]{Op: OpInsert, Entries: entries})
+}
+
+// LogDelete appends one delete record covering keys.
+func (s *Store[K]) LogDelete(keys []K) error {
+	entries := make([]Entry[K], len(keys))
+	for i, k := range keys {
+		entries[i].Key = k
+	}
+	return s.append(Record[K]{Op: OpDelete, Entries: entries})
+}
+
+// LogUpdate appends one update-weight record covering entries.
+func (s *Store[K]) LogUpdate(entries []Entry[K]) error {
+	return s.append(Record[K]{Op: OpUpdate, Entries: entries})
+}
+
+// Sync flushes and fsyncs the active segment.
+func (s *Store[K]) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.wal.dirty {
+		return nil
+	}
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	s.syncs.Add(1)
+	return nil
+}
+
+// BeginSnapshot starts the snapshot protocol: it syncs and closes the
+// active segment (sequence S), opens segment S+1 for subsequent appends,
+// and returns a commit function. The caller must export the dataset state
+// before any further append (the serving layer does both under its log
+// mutex) and then invoke commit with that export — commit writes snap-S
+// atomically and purges the segments and snapshots it obsoletes. commit
+// runs outside any lock; until it succeeds, recovery simply uses the
+// previous snapshot plus the still-present segments. Snapshot protocols
+// must not overlap: the caller serializes BeginSnapshot..commit pairs
+// (the serving layer's per-dataset snapshot mutex).
+func (s *Store[K]) BeginSnapshot() (seq uint64, commit func(entries []Entry[K]) error, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, ErrClosed
+	}
+	covered := s.active
+	if err := s.wal.close(); err != nil {
+		return 0, nil, err
+	}
+	s.syncs.Add(1)
+	next, err := openSegment(s.dir, covered+1, 0)
+	if err != nil {
+		// Reopen the old segment for appending; the store must stay usable.
+		reopened, rerr := openSegment(s.dir, covered, s.wal.size)
+		if rerr != nil {
+			return 0, nil, errors.Join(err, rerr)
+		}
+		s.wal = reopened
+		return 0, nil, err
+	}
+	s.wal = next
+	s.active = covered + 1
+
+	commit = func(entries []Entry[K]) error {
+		path := filepath.Join(s.dir, snapshotName(covered))
+		if err := writeSnapshotFile(path, s.codec, s.opts.Kind, covered, entries); err != nil {
+			return err
+		}
+		prev := s.lastSnap.Swap(covered)
+		s.snapshots.Add(1)
+		for seq := prev; seq <= covered; seq++ {
+			_ = os.Remove(filepath.Join(s.dir, segmentName(seq)))
+		}
+		if prev > 0 && prev != covered {
+			_ = os.Remove(filepath.Join(s.dir, snapshotName(prev)))
+		}
+		return nil
+	}
+	return covered, commit, nil
+}
+
+// Stats returns the store's counters.
+func (s *Store[K]) Stats() StoreStats {
+	s.mu.Lock()
+	var size int64
+	var active uint64
+	if !s.closed {
+		size = s.wal.size
+		active = s.active
+	}
+	s.mu.Unlock()
+	return StoreStats{
+		Records:         s.records.Load(),
+		Entries:         s.entries.Load(),
+		Bytes:           s.bytes.Load(),
+		Syncs:           s.syncs.Load(),
+		Snapshots:       s.snapshots.Load(),
+		LastSnapshotSeq: s.lastSnap.Load(),
+		ActiveSegment:   active,
+		WALSize:         size,
+	}
+}
+
+// Dir returns the store's directory.
+func (s *Store[K]) Dir() string { return s.dir }
+
+// Close syncs and closes the active segment. Further operations fail with
+// ErrClosed. Safe to call more than once.
+func (s *Store[K]) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.wal.close()
+	s.mu.Unlock()
+	if s.stopBg != nil {
+		close(s.stopBg)
+		<-s.bgDone
+	}
+	return err
+}

@@ -1,0 +1,185 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SyncPolicy selects when WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged mutation is
+	// durable before the in-memory structure applies it.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval flushes and fsyncs on a background timer (the Store's
+	// Options.SyncInterval): a crash loses at most one interval of
+	// acknowledged mutations.
+	SyncInterval
+	// SyncNone leaves flushing to the OS and the Store's rotate/close
+	// paths: fastest, weakest.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("syncpolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the flag spellings "always", "interval", "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("persist: unknown fsync policy %q (want always, interval, or none)", s)
+}
+
+// segmentName and snapshotName format the on-disk file names; sequence
+// numbers are fixed-width hex so lexical order is numeric order.
+func segmentName(seq uint64) string  { return fmt.Sprintf("wal-%016x.log", seq) }
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }
+
+// parseSeq extracts the sequence number from a segment or snapshot name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(name[len(prefix):len(prefix)+16], "%016x", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// walWriter is one open WAL segment: buffered appends with the frame codec,
+// synced per policy.
+type walWriter struct {
+	f     *os.File
+	bw    *bufio.Writer
+	size  int64 // bytes written (valid prefix + buffered)
+	dirty bool  // bytes not yet fsynced
+}
+
+// openSegment opens (creating if needed) the segment file for appending,
+// first truncating it to validLen — the readable prefix a prior replay
+// measured — so a torn tail from a crash never precedes new records.
+func openSegment(dir string, seq uint64, validLen int64) (*walWriter, error) {
+	path := filepath.Join(dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16), size: validLen}, nil
+}
+
+// append encodes rec and writes its frame; the caller decides when to sync.
+func (w *walWriter) append(frame []byte) error {
+	n, err := w.bw.Write(frame)
+	w.size += int64(n)
+	if err != nil {
+		return err
+	}
+	w.dirty = true
+	return nil
+}
+
+// sync flushes buffered frames and fsyncs the file.
+func (w *walWriter) sync() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// close syncs and closes the segment file.
+func (w *walWriter) close() error {
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// replaySegment streams the records of one segment file through fn, in
+// append order. It stops at the first frame that fails a structural check
+// and reports the length of the valid prefix and whether anything followed
+// it (a torn or corrupt tail); a missing file replays as empty. fn errors
+// abort the replay unchanged.
+func replaySegment[K any](path string, codec KeyCodec[K], fn func(Record[K]) error) (validLen int64, records int, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, false, nil
+		}
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	header := make([]byte, frameHeader)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, header); err != nil {
+			// Clean EOF on a frame boundary ends the segment; anything else
+			// (partial header, read error) is a torn tail.
+			return validLen, records, err != io.EOF, nil
+		}
+		length := binary.LittleEndian.Uint32(header)
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if length == 0 || length > maxFrame {
+			return validLen, records, true, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return validLen, records, true, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return validLen, records, true, nil
+		}
+		rec, derr := decodeRecord(codec, payload)
+		if derr != nil {
+			return validLen, records, true, nil
+		}
+		if err := fn(rec); err != nil {
+			return validLen, records, false, err
+		}
+		validLen += int64(frameHeader) + int64(length)
+		records++
+	}
+}

@@ -56,6 +56,10 @@ func (d *stubDataset) InsertItems(items []Item[int]) error {
 }
 
 func (d *stubDataset) DeleteKeys(keys []int) int { return len(keys) }
+
+func (d *stubDataset) UpdateWeights(items []Item[int]) int { return len(items) }
+
+func (d *stubDataset) ExportItems(dst []Item[int]) []Item[int] { return dst }
 func (d *stubDataset) Len() int                  { d.mu.Lock(); defer d.mu.Unlock(); return d.stored }
 func (d *stubDataset) Stats() shard.Stats        { return shard.Stats{Len: d.Len(), Shards: 1} }
 func (d *stubDataset) Weighted() bool            { return false }

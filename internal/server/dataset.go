@@ -36,6 +36,15 @@ type Dataset[K cmp.Ordered] interface {
 	// DeleteKeys removes one occurrence of each key, returning how many
 	// were present and removed.
 	DeleteKeys(keys []K) int
+	// UpdateWeights sets the weight of one occurrence of each item's key,
+	// returning how many keys were present. The Core gates this path on
+	// Weighted() and validates the weights first, so unweighted
+	// implementations may simply return 0.
+	UpdateWeights(items []Item[K]) int
+	// ExportItems appends every stored item in key order — a consistent
+	// point-in-time export (unweighted datasets report unit weights). This
+	// is the state a snapshot serializes; it pauses writers briefly.
+	ExportItems(dst []Item[K]) []Item[K]
 	// Len returns the number of stored items.
 	Len() int
 	// Stats returns the structure's topology snapshot.
@@ -72,6 +81,16 @@ func (d *unweightedDataset[K]) InsertItems(items []Item[K]) error {
 	return nil
 }
 
+func (d *unweightedDataset[K]) UpdateWeights(items []Item[K]) int { return 0 }
+
+func (d *unweightedDataset[K]) ExportItems(dst []Item[K]) []Item[K] {
+	keys := d.c.AppendKeys(make([]K, 0, d.c.Len()))
+	for _, k := range keys {
+		dst = append(dst, Item[K]{Key: k, Weight: 1})
+	}
+	return dst
+}
+
 func (d *unweightedDataset[K]) DeleteKeys(keys []K) int { return d.c.DeleteBatch(keys) }
 func (d *unweightedDataset[K]) Len() int                { return d.c.Len() }
 func (d *unweightedDataset[K]) Stats() shard.Stats      { return d.c.Stats() }
@@ -98,6 +117,26 @@ func (d *weightedDataset[K]) InsertItems(items []Item[K]) error {
 		witems[i] = weighted.Item[K]{Key: it.Key, Weight: it.Weight}
 	}
 	return d.w.InsertBatch(witems)
+}
+
+func (d *weightedDataset[K]) UpdateWeights(items []Item[K]) int {
+	n := 0
+	for _, it := range items {
+		// Weights were validated by the Core before submission.
+		ok, err := d.w.UpdateWeight(it.Key, it.Weight)
+		if err == nil && ok {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *weightedDataset[K]) ExportItems(dst []Item[K]) []Item[K] {
+	witems := d.w.AppendItems(make([]weighted.Item[K], 0, d.w.Len()))
+	for _, it := range witems {
+		dst = append(dst, Item[K]{Key: it.Key, Weight: it.Weight})
+	}
+	return dst
 }
 
 func (d *weightedDataset[K]) DeleteKeys(keys []K) int { return d.w.DeleteBatch(keys) }

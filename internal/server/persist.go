@@ -1,0 +1,170 @@
+package server
+
+import (
+	"cmp"
+	"errors"
+
+	"github.com/irsgo/irs/internal/persist"
+	"github.com/irsgo/irs/internal/weighted"
+)
+
+// Durability: a dataset registered with AddDurable carries a
+// persist.Store. Every mutating path then appends a WAL record inside the
+// same coalesced flush that applies the mutation, holding the dataset's
+// log mutex across (append, apply) so the WAL's record order equals the
+// in-memory apply order — the property that makes replay reconstruct the
+// exact key/weight multiset. Because the WAL append rides the coalesced
+// InsertBatch flush, durability amortizes across concurrent clients
+// exactly like sampling does: one fsync covers a whole merged batch.
+//
+// Snapshots (Core.Snapshot) rotate the WAL and export the dataset under
+// the same log mutex — a brief write pause, sampling unaffected — then
+// serialize and compact outside the lock. Recovery (persist.Open + Replay)
+// loads the newest snapshot and replays the WAL tail in order.
+
+// Typed errors of the durability paths.
+var (
+	// ErrNotWeighted: a weight-update was addressed to an unweighted
+	// dataset.
+	ErrNotWeighted = errors.New("server: dataset is not weighted")
+	// ErrNotDurable: a snapshot was requested for a dataset that has no
+	// persistence attached.
+	ErrNotDurable = errors.New("server: dataset has no persistence attached")
+)
+
+// AddDurable registers ds like Add and attaches its persistence store:
+// subsequent inserts, deletes, and weight updates are written ahead to the
+// store's WAL, and Snapshot(name) becomes available. recovered is the
+// recovery outcome Open reported for the store's directory (zero if the
+// caller built the dataset fresh); it is surfaced verbatim in Stats.
+func (c *Core[K]) AddDurable(name string, ds Dataset[K], store *persist.Store[K], recovered persist.RecoveryStats) error {
+	if store == nil {
+		return ErrNotDurable
+	}
+	return c.add(name, ds, store, recovered)
+}
+
+// Update sets the weight of one occurrence of each item's key on a
+// weighted dataset, returning how many keys were present. Weights are
+// validated before admission; unweighted datasets reject with
+// ErrNotWeighted. Like deletes, updates go straight to the backend (the
+// request body is already a batch) under the dataset's durability order.
+func (c *Core[K]) Update(name string, items []Item[K]) (int, error) {
+	st, err := c.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	if !st.ds.Weighted() {
+		return 0, ErrNotWeighted
+	}
+	for _, it := range items {
+		if !weighted.ValidWeight(it.Weight) {
+			return 0, ErrInvalidWeight
+		}
+	}
+	st.counters.updateRequests.Add(1)
+	if len(items) == 0 {
+		return 0, nil
+	}
+	n, err := st.applyUpdate(items)
+	if err != nil {
+		return 0, err
+	}
+	st.counters.keysUpdated.Add(uint64(n))
+	return n, nil
+}
+
+// applyUpdate logs and applies one weight-update batch.
+func (st *dsState[K]) applyUpdate(items []Item[K]) (int, error) {
+	if st.store == nil {
+		return st.ds.UpdateWeights(items), nil
+	}
+	st.logMu.Lock()
+	defer st.logMu.Unlock()
+	if err := st.store.LogUpdate(toEntries(items)); err != nil {
+		return 0, logErr(err)
+	}
+	return st.ds.UpdateWeights(items), nil
+}
+
+// SnapshotInfo reports one committed snapshot.
+type SnapshotInfo struct {
+	Seq   uint64 `json:"seq"`   // WAL sequence the snapshot covers
+	Items int    `json:"items"` // items serialized
+}
+
+// Snapshot takes a point-in-time snapshot of the named durable dataset
+// and compacts the WAL segments it covers. The WAL rotation and the state
+// export happen under the dataset's log mutex — a brief write pause during
+// the O(n) export; sampling proceeds throughout — while serialization and
+// compaction run outside it. Concurrent Snapshot calls for one dataset
+// serialize.
+func (c *Core[K]) Snapshot(name string) (SnapshotInfo, error) {
+	st, err := c.lookup(name)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	if st.store == nil {
+		return SnapshotInfo{}, ErrNotDurable
+	}
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
+
+	st.logMu.Lock()
+	seq, commit, err := st.store.BeginSnapshot()
+	if err != nil {
+		st.logMu.Unlock()
+		return SnapshotInfo{}, logErr(err)
+	}
+	items := st.ds.ExportItems(nil)
+	st.logMu.Unlock()
+
+	if err := commit(toEntries(items)); err != nil {
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{Seq: seq, Items: len(items)}, nil
+}
+
+// Replay applies recovered WAL records to ds in append order. The caller
+// has already loaded the snapshot entries (typically through a bulk-load
+// constructor); Replay finishes the reconstruction. Weight updates are
+// skipped on unweighted datasets (they cannot be logged there either).
+func Replay[K cmp.Ordered](ds Dataset[K], records []persist.Record[K]) error {
+	for _, rec := range records {
+		switch rec.Op {
+		case persist.OpInsert:
+			items := make([]Item[K], len(rec.Entries))
+			for i, e := range rec.Entries {
+				items[i] = Item[K]{Key: e.Key, Weight: e.Weight}
+			}
+			if err := ds.InsertItems(items); err != nil {
+				return err
+			}
+		case persist.OpDelete:
+			keys := make([]K, len(rec.Entries))
+			for i, e := range rec.Entries {
+				keys[i] = e.Key
+			}
+			ds.DeleteKeys(keys)
+		case persist.OpUpdate:
+			if !ds.Weighted() {
+				continue
+			}
+			items := make([]Item[K], len(rec.Entries))
+			for i, e := range rec.Entries {
+				items[i] = Item[K]{Key: e.Key, Weight: e.Weight}
+			}
+			ds.UpdateWeights(items)
+		}
+	}
+	return nil
+}
+
+// toEntries converts serving items to persistence entries.
+func toEntries[K cmp.Ordered](items []Item[K]) []persist.Entry[K] {
+	entries := make([]persist.Entry[K], len(items))
+	for i, it := range items {
+		entries[i] = persist.Entry[K]{Key: it.Key, Weight: it.Weight}
+	}
+	return entries
+}

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/irsgo/irs/internal/persist"
 	"github.com/irsgo/irs/internal/shard"
 	"github.com/irsgo/irs/internal/weighted"
 	"github.com/irsgo/irs/internal/xrand"
@@ -118,13 +119,23 @@ type Core[K cmp.Ordered] struct {
 	closed bool
 }
 
-// dsState is one registered dataset with its two coalescers.
+// dsState is one registered dataset with its two coalescers and, when
+// registered through AddDurable, its persistence store.
 type dsState[K cmp.Ordered] struct {
 	name     string
 	ds       Dataset[K]
 	samples  *coalescer[shard.Query[K], []K]
 	inserts  *coalescer[[]Item[K], int]
 	counters counters
+
+	// store is nil for memory-only datasets. logMu orders WAL appends
+	// with the in-memory applies they mirror (held across both), and the
+	// snapshot protocol's rotate+export; snapMu serializes whole snapshot
+	// protocols (see persist.go).
+	store    *persist.Store[K]
+	logMu    sync.Mutex
+	snapMu   sync.Mutex
+	recovery persist.RecoveryStats
 }
 
 // NewCore returns an empty Core with the given knobs.
@@ -135,6 +146,13 @@ func NewCore[K cmp.Ordered](cfg Config) *Core[K] {
 // Add registers ds under name and starts its coalescers. Names must be
 // non-empty and unique; registering on a closed core is rejected.
 func (c *Core[K]) Add(name string, ds Dataset[K]) error {
+	return c.add(name, ds, nil, persist.RecoveryStats{})
+}
+
+// add builds the dataset's state completely — including its persistence
+// attachment — before publishing it in byName, so no request can ever
+// observe a durable dataset without its store.
+func (c *Core[K]) add(name string, ds Dataset[K], store *persist.Store[K], recovered persist.RecoveryStats) error {
 	if name == "" {
 		return ErrUnknownDataset
 	}
@@ -146,7 +164,7 @@ func (c *Core[K]) Add(name string, ds Dataset[K]) error {
 	if _, dup := c.byName[name]; dup {
 		return ErrDuplicateDataset
 	}
-	st := &dsState[K]{name: name, ds: ds}
+	st := &dsState[K]{name: name, ds: ds, store: store, recovery: recovered}
 	cfg := c.cfg
 	st.samples = newCoalescer[shard.Query[K], []K](cfg.QueueDepth, cfg.MaxBatch, cfg.Flushers, cfg.CoalesceWindow,
 		func() func([]request[shard.Query[K], []K]) {
@@ -287,7 +305,9 @@ func (c *Core[K]) Insert(name string, items []Item[K]) (int, error) {
 }
 
 // flushInserts concatenates one coalesced batch of insert requests and
-// stores it with a single InsertBatch call.
+// stores it with a single InsertBatch call — preceded, on durable
+// datasets, by a single WAL append covering the whole merged batch, so
+// the fsync cost amortizes across every coalesced request.
 func (st *dsState[K]) flushInserts(batch []request[[]Item[K], int]) {
 	st.counters.insertBatches.Add(1)
 	total := 0
@@ -298,7 +318,7 @@ func (st *dsState[K]) flushInserts(batch []request[[]Item[K], int]) {
 	for _, r := range batch {
 		items = append(items, r.q...)
 	}
-	err := st.ds.InsertItems(items)
+	err := st.applyInsert(items)
 	if err == nil {
 		st.counters.itemsInserted.Add(uint64(total))
 	}
@@ -321,9 +341,51 @@ func (c *Core[K]) Delete(name string, keys []K) (int, error) {
 		return 0, err
 	}
 	st.counters.deleteRequests.Add(1)
-	n := st.ds.DeleteKeys(keys)
+	n, err := st.applyDelete(keys)
+	if err != nil {
+		return 0, err
+	}
 	st.counters.keysDeleted.Add(uint64(n))
 	return n, nil
+}
+
+// applyInsert logs (durable datasets) and applies one merged insert batch
+// under the durability order.
+func (st *dsState[K]) applyInsert(items []Item[K]) error {
+	if st.store == nil {
+		return st.ds.InsertItems(items)
+	}
+	st.logMu.Lock()
+	defer st.logMu.Unlock()
+	if err := st.store.LogInsert(toEntries(items)); err != nil {
+		return logErr(err)
+	}
+	return st.ds.InsertItems(items)
+}
+
+// applyDelete logs (durable datasets) and applies one delete batch.
+func (st *dsState[K]) applyDelete(keys []K) (int, error) {
+	if st.store == nil {
+		return st.ds.DeleteKeys(keys), nil
+	}
+	st.logMu.Lock()
+	defer st.logMu.Unlock()
+	if err := st.store.LogDelete(keys); err != nil {
+		return 0, logErr(err)
+	}
+	return st.ds.DeleteKeys(keys), nil
+}
+
+// logErr maps WAL append failures to the serving vocabulary: a store
+// closed by Close means the core is draining (a Delete/Update can pass
+// the lookup gate just before Close and reach a closed store), so the
+// caller deserves the retryable shutting_down answer, not an internal
+// error.
+func logErr(err error) error {
+	if errors.Is(err, persist.ErrClosed) {
+		return ErrShuttingDown
+	}
+	return err
 }
 
 // Stats returns a snapshot of every dataset's serving counters and
@@ -344,9 +406,11 @@ func (c *Core[K]) Stats() Stats {
 }
 
 // Close stops admitting work and drains: every request accepted before
-// Close is answered before Close returns. Later calls to Sample, Insert,
-// or Delete fail with ErrShuttingDown. Safe to call more than once.
-func (c *Core[K]) Close() {
+// Close is answered before Close returns, then each durable dataset's
+// store is synced and closed. Later calls to Sample, Insert, Delete, or
+// Update fail with ErrShuttingDown. Safe to call more than once; the
+// returned error joins any store close failures.
+func (c *Core[K]) Close() error {
 	c.mu.Lock()
 	c.closed = true
 	states := make([]*dsState[K], 0, len(c.byName))
@@ -354,8 +418,15 @@ func (c *Core[K]) Close() {
 		states = append(states, st)
 	}
 	c.mu.Unlock()
+	var errs []error
 	for _, st := range states {
 		st.samples.close()
 		st.inserts.close()
+		if st.store != nil {
+			if err := st.store.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
 	}
+	return errors.Join(errs...)
 }

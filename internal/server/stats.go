@@ -1,6 +1,10 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"github.com/irsgo/irs/internal/persist"
+)
 
 // counters is the live per-dataset instrumentation, updated atomically on
 // every request path so /stats never takes a lock a hot path contends on.
@@ -18,6 +22,9 @@ type counters struct {
 
 	deleteRequests atomic.Uint64
 	keysDeleted    atomic.Uint64
+
+	updateRequests atomic.Uint64
+	keysUpdated    atomic.Uint64
 }
 
 // noteSampleBatch records one flushed sample batch of n coalesced requests.
@@ -53,6 +60,21 @@ type DatasetStats struct {
 
 	DeleteRequests uint64 `json:"delete_requests"`
 	KeysDeleted    uint64 `json:"keys_deleted"`
+
+	UpdateRequests uint64 `json:"update_requests"`
+	KeysUpdated    uint64 `json:"keys_updated"`
+
+	// Durable reports whether a persistence store is attached; Persist is
+	// nil for memory-only datasets.
+	Durable bool          `json:"durable"`
+	Persist *PersistStats `json:"persist,omitempty"`
+}
+
+// PersistStats is the durability slice of a dataset's stats: the store's
+// live WAL/snapshot counters plus what recovery reconstructed at boot.
+type PersistStats struct {
+	persist.StoreStats
+	Recovery persist.RecoveryStats `json:"recovery"`
 }
 
 // Stats is the full serving snapshot, one entry per dataset in name order.
@@ -68,7 +90,7 @@ func (st *dsState[K]) snapshot() DatasetStats {
 	}
 	topo := st.ds.Stats()
 	c := &st.counters
-	return DatasetStats{
+	out := DatasetStats{
 		Name:   st.name,
 		Kind:   kind,
 		Len:    topo.Len,
@@ -87,5 +109,13 @@ func (st *dsState[K]) snapshot() DatasetStats {
 
 		DeleteRequests: c.deleteRequests.Load(),
 		KeysDeleted:    c.keysDeleted.Load(),
+
+		UpdateRequests: c.updateRequests.Load(),
+		KeysUpdated:    c.keysUpdated.Load(),
 	}
+	if st.store != nil {
+		out.Durable = true
+		out.Persist = &PersistStats{StoreStats: st.store.Stats(), Recovery: st.recovery}
+	}
+	return out
 }

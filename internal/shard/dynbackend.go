@@ -76,6 +76,14 @@ type Concurrent[K cmp.Ordered] struct {
 
 var _ core.Sampler[int] = (*Concurrent[int])(nil)
 
+// AppendKeys appends every stored key in sorted order — a consistent
+// point-in-time export taken under all shard read locks. O(n). It is the
+// unweighted spelling of the engine's AppendAllItems (items are keys), the
+// export path snapshots serialize.
+func (c *Concurrent[K]) AppendKeys(dst []K) []K {
+	return c.AppendAllItems(dst)
+}
+
 // New returns an empty Concurrent that will grow toward target shards as
 // data arrives (split points are learned by the automatic rebalance once
 // shards fill up). target < 1 is treated as 1. Equivalent to NewSeeded with

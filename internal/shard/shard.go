@@ -407,6 +407,23 @@ func (c *engine[K, I, B]) rebuildFromSorted(items []I, p int) {
 	c.rebalanceN.Store(int64(n))
 }
 
+// AppendAllItems appends every stored item in key order — a consistent
+// point-in-time export taken under every shard's read lock, so concurrent
+// writers pause briefly while readers are unaffected. Shards are
+// contiguous key intervals in order, so concatenating their key-ordered
+// contents is globally sorted. O(n); this is the export snapshots and
+// persistence are built on.
+func (c *engine[K, I, B]) AppendAllItems(dst []I) []I {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	c.rlockShards(0, len(c.shards)-1)
+	defer c.runlockShards(0, len(c.shards)-1)
+	for _, sh := range c.shards {
+		dst = sh.b.AppendItems(dst)
+	}
+	return dst
+}
+
 // Stats describes the current topology, for monitoring and tests.
 type Stats struct {
 	Len      int   // total stored keys

@@ -228,12 +228,5 @@ func (w *WeightedConcurrent[K]) TotalWeight(lo, hi K) float64 {
 // AppendItems appends every stored (key, weight) pair in key order — a
 // consistent snapshot taken under all shard read locks. O(n).
 func (w *WeightedConcurrent[K]) AppendItems(dst []weighted.Item[K]) []weighted.Item[K] {
-	w.topoMu.RLock()
-	defer w.topoMu.RUnlock()
-	w.rlockShards(0, len(w.shards)-1)
-	defer w.runlockShards(0, len(w.shards)-1)
-	for _, sh := range w.shards {
-		dst = sh.b.AppendItems(dst)
-	}
-	return dst
+	return w.AppendAllItems(dst)
 }

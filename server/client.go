@@ -72,6 +72,24 @@ func (c *Client) Delete(ctx context.Context, dataset string, keys []float64) (in
 	return resp.Removed, err
 }
 
+// Update sets the weight of one occurrence of each item's key on a
+// weighted dataset, returning how many keys were present and re-weighted.
+// Unweighted datasets answer ErrNotWeighted.
+func (c *Client) Update(ctx context.Context, dataset string, items []Item) (int, error) {
+	var resp UpdateResponse
+	err := c.post(ctx, "/update", UpdateRequest{Dataset: dataset, Items: items}, &resp)
+	return resp.Updated, err
+}
+
+// Snapshot asks the daemon to take a point-in-time snapshot of a durable
+// dataset (compacting its WAL), returning the covered WAL sequence and
+// item count. Memory-only datasets answer ErrNotDurable.
+func (c *Client) Snapshot(ctx context.Context, dataset string) (SnapshotResponse, error) {
+	var resp SnapshotResponse
+	err := c.post(ctx, "/snapshot", SnapshotRequest{Dataset: dataset}, &resp)
+	return resp, err
+}
+
 // Stats fetches the serving snapshot of every dataset.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"time"
+
+	irs "github.com/irsgo/irs"
+	"github.com/irsgo/irs/internal/persist"
+	srv "github.com/irsgo/irs/internal/server"
+	"github.com/irsgo/irs/internal/weighted"
+)
+
+// SyncPolicy selects when WAL appends reach stable storage; see the
+// constants for the trade-offs.
+type SyncPolicy = persist.SyncPolicy
+
+const (
+	// SyncAlways fsyncs inside every (coalesced) mutation flush: an
+	// acknowledged request is durable. One fsync covers a whole merged
+	// batch, so the cost amortizes across concurrent clients.
+	SyncAlways = persist.SyncAlways
+	// SyncInterval fsyncs on a background timer: a crash loses at most one
+	// interval of acknowledged mutations.
+	SyncInterval = persist.SyncInterval
+	// SyncNone leaves flushing to the OS and the rotate/close paths.
+	SyncNone = persist.SyncNone
+)
+
+// ParseSyncPolicy parses the flag spellings "always", "interval", "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return persist.ParseSyncPolicy(s) }
+
+// Recovery describes what booting a durable dataset reconstructed.
+type Recovery = persist.RecoveryStats
+
+// SnapshotInfo reports one committed snapshot.
+type SnapshotInfo = srv.SnapshotInfo
+
+// DurableOptions configures one durable dataset's persistence.
+type DurableOptions struct {
+	// Dir is the dataset's own directory (one dataset per directory);
+	// irsd uses <data-dir>/<dataset-name>. Created if absent.
+	Dir string
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval
+	// (default 100ms).
+	SyncInterval time.Duration
+	// Shards is the structure's target shard count (default 1).
+	Shards int
+	// Seed anchors the structure's sampling streams and treap priorities,
+	// like the seeded in-memory constructors. Never influences the
+	// sampling distribution.
+	Seed uint64
+}
+
+// AddDurableUnweighted recovers the unweighted dataset persisted in
+// opts.Dir (starting empty on a fresh directory) and registers it under
+// name with persistence attached: every subsequent insert and delete is
+// written ahead to the dataset's WAL inside the same coalesced flush that
+// applies it, and /snapshot (or Server.Snapshot) rotates the WAL into a
+// compact point-in-time snapshot. Recovery loads the newest snapshot and
+// replays the WAL tail; a torn final record (crash mid-append) is
+// truncated and reported.
+//
+// The returned structure is the live dataset. Mutating it directly
+// bypasses the WAL — safe only before serving starts and only if followed
+// by Server.Snapshot (irsd's preload does exactly that).
+func (s *Server) AddDurableUnweighted(name string, opts DurableOptions) (*irs.Concurrent[float64], Recovery, error) {
+	store, rec, err := persist.Open(opts.Dir, persist.Float64Keys(), persist.Options{
+		Kind:         persist.KindUnweighted,
+		Sync:         opts.Sync,
+		SyncInterval: opts.SyncInterval,
+	})
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	keys := make([]float64, len(rec.Entries))
+	for i, e := range rec.Entries {
+		keys[i] = e.Key
+	}
+	c, err := irs.NewConcurrentFromSortedSeeded(keys, max(opts.Shards, 1), opts.Seed)
+	if err != nil {
+		store.Close()
+		return nil, Recovery{}, err
+	}
+	ds := srv.NewUnweightedDataset(c)
+	if err := srv.Replay(ds, rec.Records); err != nil {
+		store.Close()
+		return nil, Recovery{}, err
+	}
+	if err := s.core.AddDurable(name, ds, store, rec.Stats); err != nil {
+		store.Close()
+		return nil, Recovery{}, err
+	}
+	return c, rec.Stats, nil
+}
+
+// AddDurableWeighted is AddDurableUnweighted for a weighted dataset:
+// weight updates are logged too, and recovery restores the exact
+// (key, weight) multiset.
+func (s *Server) AddDurableWeighted(name string, opts DurableOptions) (*irs.WeightedConcurrent[float64], Recovery, error) {
+	store, rec, err := persist.Open(opts.Dir, persist.Float64Keys(), persist.Options{
+		Kind:         persist.KindWeighted,
+		Sync:         opts.Sync,
+		SyncInterval: opts.SyncInterval,
+	})
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	items := make([]weighted.Item[float64], len(rec.Entries))
+	for i, e := range rec.Entries {
+		items[i] = weighted.Item[float64]{Key: e.Key, Weight: e.Weight}
+	}
+	w, err := irs.NewWeightedConcurrentFromItems(items, max(opts.Shards, 1), opts.Seed)
+	if err != nil {
+		store.Close()
+		return nil, Recovery{}, err
+	}
+	ds := srv.NewWeightedDataset(w)
+	if err := srv.Replay(ds, rec.Records); err != nil {
+		store.Close()
+		return nil, Recovery{}, err
+	}
+	if err := s.core.AddDurable(name, ds, store, rec.Stats); err != nil {
+		store.Close()
+		return nil, Recovery{}, err
+	}
+	return w, rec.Stats, nil
+}

@@ -5,11 +5,17 @@
 // agnostic core (internal/server); this package speaks JSON over four
 // endpoints and maps the core's typed errors to wire codes:
 //
-//	POST /sample  {"dataset":"d","lo":0,"hi":9,"t":3}  -> {"dataset":"d","samples":[...]}
-//	POST /insert  {"dataset":"d","keys":[1,2]}          -> {"dataset":"d","inserted":2}
-//	              {"dataset":"w","items":[{"key":1,"weight":2.5}]}
-//	POST /delete  {"dataset":"d","keys":[1,2]}          -> {"dataset":"d","removed":2}
-//	GET  /stats                                         -> {"datasets":[...]}
+//	POST /sample   {"dataset":"d","lo":0,"hi":9,"t":3}  -> {"dataset":"d","samples":[...]}
+//	POST /insert   {"dataset":"d","keys":[1,2]}          -> {"dataset":"d","inserted":2}
+//	               {"dataset":"w","items":[{"key":1,"weight":2.5}]}
+//	POST /delete   {"dataset":"d","keys":[1,2]}          -> {"dataset":"d","removed":2}
+//	POST /update   {"dataset":"w","items":[{"key":1,"weight":9}]} -> {"dataset":"w","updated":1}
+//	POST /snapshot {"dataset":"d"}                       -> {"dataset":"d","seq":3,"items":1000}
+//	GET  /stats                                          -> {"datasets":[...]}
+//
+// Datasets registered through the durable constructors (AddDurable*) write
+// every mutation ahead to a per-dataset WAL and serve /snapshot; see
+// durable.go and internal/persist.
 //
 // The dataset field may be omitted when exactly one dataset is registered.
 // Errors arrive as {"error":{"code":"...","message":"..."}} with the
@@ -60,6 +66,8 @@ var (
 	ErrEmptyRange       = srv.ErrEmptyRange
 	ErrOverloaded       = srv.ErrOverloaded
 	ErrShuttingDown     = srv.ErrShuttingDown
+	ErrNotWeighted      = srv.ErrNotWeighted
+	ErrNotDurable       = srv.ErrNotDurable
 )
 
 // maxBodyBytes bounds request bodies; a megabyte-scale insert batch is the
@@ -80,6 +88,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/sample", s.handleSample)
 	s.mux.HandleFunc("/insert", s.handleInsert)
 	s.mux.HandleFunc("/delete", s.handleDelete)
+	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
@@ -96,16 +106,25 @@ func (s *Server) AddWeighted(name string, w *irs.WeightedConcurrent[float64]) er
 	return s.core.Add(name, srv.NewWeightedDataset(w))
 }
 
-// Close stops admitting requests and drains every request accepted so far;
-// in-flight requests are answered, later ones get 503 shutting_down. Call
-// it after the HTTP listener has stopped accepting (http.Server.Shutdown)
-// for a fully graceful stop, though any order is safe.
-func (s *Server) Close() { s.core.Close() }
+// Close stops admitting requests and drains every request accepted so
+// far; in-flight requests are answered, then every durable dataset's WAL
+// is synced and closed (the returned error joins any store failures).
+// Later requests get 503 shutting_down. Call it after the HTTP listener
+// has stopped accepting (http.Server.Shutdown) for a fully graceful stop,
+// though any order is safe.
+func (s *Server) Close() error { return s.core.Close() }
+
+// Snapshot takes a point-in-time snapshot of the named durable dataset
+// and compacts the WAL segments it covers — the in-process form of the
+// /snapshot endpoint, used by irsd's background snapshot loop.
+func (s *Server) Snapshot(name string) (srv.SnapshotInfo, error) {
+	return s.core.Snapshot(name)
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
-	case "/sample", "/insert", "/delete", "/stats":
+	case "/sample", "/insert", "/delete", "/update", "/snapshot", "/stats":
 		s.mux.ServeHTTP(w, r)
 	default:
 		writeError(w, http.StatusNotFound, "not_found", "no such endpoint: "+r.URL.Path)
@@ -182,6 +201,42 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, DeleteResponse{Dataset: name, Removed: n})
 }
 
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	name, err := s.resolveName(req.Dataset)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	n, err := s.core.Update(name, req.Items)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{Dataset: name, Updated: n})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req SnapshotRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	name, err := s.resolveName(req.Dataset)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	info, err := s.core.Snapshot(name)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Dataset: name, Seq: info.Seq, Items: info.Items})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
@@ -219,6 +274,10 @@ func errCodeStatus(err error) (code string, status int) {
 		return "invalid_count", http.StatusBadRequest
 	case errors.Is(err, ErrInvalidWeight):
 		return "invalid_weight", http.StatusBadRequest
+	case errors.Is(err, ErrNotWeighted):
+		return "not_weighted", http.StatusBadRequest
+	case errors.Is(err, ErrNotDurable):
+		return "not_durable", http.StatusConflict
 	case errors.Is(err, ErrEmptyRange):
 		return "empty_range", http.StatusUnprocessableEntity
 	case errors.Is(err, ErrOverloaded):
@@ -237,6 +296,8 @@ var codeToErr = map[string]error{
 	"invalid_range":     ErrInvalidRange,
 	"invalid_count":     ErrInvalidCount,
 	"invalid_weight":    ErrInvalidWeight,
+	"not_weighted":      ErrNotWeighted,
+	"not_durable":       ErrNotDurable,
 	"empty_range":       ErrEmptyRange,
 	"overloaded":        ErrOverloaded,
 	"shutting_down":     ErrShuttingDown,

@@ -32,6 +32,33 @@ type InsertResponse struct {
 	Inserted int    `json:"inserted"`
 }
 
+// UpdateRequest sets the weight of one occurrence of each item's key on a
+// weighted dataset.
+type UpdateRequest struct {
+	Dataset string `json:"dataset,omitempty"`
+	Items   []Item `json:"items,omitempty"`
+}
+
+// UpdateResponse reports how many keys were present and re-weighted.
+type UpdateResponse struct {
+	Dataset string `json:"dataset"`
+	Updated int    `json:"updated"`
+}
+
+// SnapshotRequest triggers a point-in-time snapshot (and WAL compaction)
+// of a durable dataset.
+type SnapshotRequest struct {
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// SnapshotResponse reports the committed snapshot: the WAL sequence it
+// covers and the number of items serialized.
+type SnapshotResponse struct {
+	Dataset string `json:"dataset"`
+	Seq     uint64 `json:"seq"`
+	Items   int    `json:"items"`
+}
+
 // DeleteRequest removes one occurrence of each key.
 type DeleteRequest struct {
 	Dataset string    `json:"dataset,omitempty"`
