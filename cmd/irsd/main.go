@@ -42,6 +42,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
@@ -53,7 +54,9 @@ import (
 	"github.com/irsgo/irs/server"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 		datasets = flag.String("datasets", "demo", "comma-separated name[:weighted|:unweighted] specs")
@@ -72,6 +75,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject contradictory flag combinations before any state is touched:
+	// a durability knob that silently does nothing is worse than an error.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateFlags(explicit, *dataDir, *fsync); err != nil {
+		log.Printf("irsd: %v", err)
+		return 2
+	}
+
 	s := server.New(server.Config{
 		QueueDepth:     *queue,
 		MaxBatch:       *maxBatch,
@@ -80,7 +92,14 @@ func main() {
 	})
 	names, err := addDatasets(s, *datasets, *shards, *seed, *preload, *dataDir, *fsync, *fsyncIvl)
 	if err != nil {
-		log.Fatalf("irsd: %v", err)
+		log.Printf("irsd: %v", err)
+		// Datasets registered before the failing one may already hold open
+		// WALs (and a durable preload may have appended records): sync and
+		// close them instead of dropping the tail on the floor.
+		if cerr := s.Close(); cerr != nil {
+			log.Printf("irsd: close: %v", cerr)
+		}
+		return 1
 	}
 
 	// Background snapshots bound WAL replay time after a crash; each run
@@ -113,7 +132,15 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("irsd: %v", err)
+		log.Printf("irsd: %v", err)
+		close(snapStop)
+		<-snapDone
+		// Durable datasets already recovered (and possibly preloaded):
+		// sync and close their WALs even though serving never started.
+		if cerr := s.Close(); cerr != nil {
+			log.Printf("irsd: close: %v", cerr)
+		}
+		return 1
 	}
 	// Printed (not just logged) so scripts can scrape the resolved address
 	// when -addr asked for a kernel-assigned port.
@@ -125,20 +152,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	exit := 0
+	var serveErr error
 	select {
 	case <-ctx.Done():
 		log.Printf("irsd: signal received, draining")
-	case err := <-done:
-		log.Fatalf("irsd: serve: %v", err)
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("irsd: http shutdown: %v", err)
+		}
+		cancel()
+		serveErr = <-done
+	case serveErr = <-done:
+		// Serve failed on its own (listener torn down, accept error):
+		// exactly the case that used to log.Fatalf past the drain below and
+		// lose the last fsync interval's WAL records. Fall through to the
+		// same drain/close sequence a signal takes.
 	}
-
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		log.Printf("irsd: http shutdown: %v", err)
-	}
-	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("irsd: serve: %v", err)
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		log.Printf("irsd: serve: %v", serveErr)
+		exit = 1
 	}
 	close(snapStop)
 	<-snapDone
@@ -146,8 +179,32 @@ func main() {
 	// and close the WALs.
 	if err := s.Close(); err != nil {
 		log.Printf("irsd: close: %v", err)
+		if exit == 0 {
+			exit = 1
+		}
 	}
 	fmt.Println("irsd: drained, bye")
+	return exit
+}
+
+// validateFlags rejects flag combinations irsd used to ignore silently:
+// durability knobs given without -data-dir, and a background fsync period
+// given under a policy that never uses it. explicit holds the flag names
+// the user actually set on the command line (flag.Visit), so defaults
+// never trip the validation.
+func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string) error {
+	if dataDir == "" {
+		for _, name := range []string{"fsync", "fsync-interval", "snapshot-every"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s has no effect without -data-dir (datasets are memory-only)", name)
+			}
+		}
+		return nil
+	}
+	if explicit["fsync-interval"] && fsyncPolicy != "interval" {
+		return fmt.Errorf("-fsync-interval has no effect with -fsync %s (use -fsync interval)", fsyncPolicy)
+	}
+	return nil
 }
 
 // addDatasets parses "name[:kind]" specs and registers each dataset —
@@ -193,23 +250,32 @@ func addDatasets(s *server.Server, specs string, shards int, seed uint64, preloa
 }
 
 // addMemoryDataset registers one memory-only dataset (the pre-durability
-// irsd behavior).
+// irsd behavior). Both kinds surface preload and registration failures
+// with the dataset name attached: the weighted batch insert can reject
+// invalid weights, the unweighted one cannot fail by construction, and
+// any error either path produces reaches the boot log the same way.
 func addMemoryDataset(s *server.Server, name, kind string, shards int, seed uint64, preload int) error {
 	rng := irs.NewRNG(seed)
 	if kind == "weighted" {
 		w := irs.NewWeightedConcurrent[float64](shards, seed)
 		if preload > 0 {
 			if err := w.InsertBatch(preloadItems(rng, preload)); err != nil {
-				return err
+				return fmt.Errorf("dataset %q: preload: %w", name, err)
 			}
 		}
-		return s.AddWeighted(name, w)
+		if err := s.AddWeighted(name, w); err != nil {
+			return fmt.Errorf("dataset %q: %w", name, err)
+		}
+		return nil
 	}
 	c := irs.NewConcurrentSeeded[float64](shards, seed)
 	if preload > 0 {
 		c.InsertBatch(preloadKeys(rng, preload))
 	}
-	return s.AddUnweighted(name, c)
+	if err := s.AddUnweighted(name, c); err != nil {
+		return fmt.Errorf("dataset %q: %w", name, err)
+	}
+	return nil
 }
 
 // addDurableDataset recovers one dataset from <dataDir>/<name> and
@@ -243,7 +309,7 @@ func addDurableDataset(s *server.Server, name, kind string, shards int, seed uin
 		recovered = rec
 		if fresh(rec) && preload > 0 {
 			if err := w.InsertBatch(preloadItems(rng, preload)); err != nil {
-				return err
+				return fmt.Errorf("dataset %q: preload: %w", name, err)
 			}
 			if _, err := s.Snapshot(name); err != nil {
 				return fmt.Errorf("dataset %q: preload snapshot: %w", name, err)

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+// TestValidateFlags pins the flag-combination validation: durability knobs
+// without -data-dir, and -fsync-interval under a non-interval policy, used
+// to be silently ignored — they must now fail fast at boot.
+func TestValidateFlags(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := make(map[string]bool, len(names))
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name     string
+		explicit map[string]bool
+		dataDir  string
+		fsync    string
+		wantErr  bool
+	}{
+		{"defaults, memory-only", set(), "", "always", false},
+		{"defaults, durable", set("data-dir"), "/tmp/x", "always", false},
+		{"fsync without data-dir", set("fsync"), "", "none", true},
+		{"fsync-interval without data-dir", set("fsync-interval"), "", "always", true},
+		{"snapshot-every without data-dir", set("snapshot-every"), "", "always", true},
+		{"fsync-interval under -fsync always", set("data-dir", "fsync-interval"), "/tmp/x", "always", true},
+		{"fsync-interval under -fsync none", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "none", true},
+		{"fsync-interval under -fsync interval", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "interval", false},
+		{"fsync interval without explicit interval flag", set("data-dir", "fsync"), "/tmp/x", "interval", false},
+		{"snapshot-every with data-dir", set("data-dir", "snapshot-every"), "/tmp/x", "always", false},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.explicit, tc.dataDir, tc.fsync)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Command irsload is the irsd load harness: it drives a live daemon's
+// /sample path over the JSON and binary encodings and reports end-to-end
+// serving throughput, latency percentiles, and client-side allocation
+// rates — the serving-layer perf trajectory BENCH_serving.json archives
+// per commit.
+//
+// Usage:
+//
+//	irsd -addr 127.0.0.1:0 -datasets demo -preload 100000 &
+//	irsload -addr http://127.0.0.1:<port> -concurrency 64 -t 256 -duration 3s
+//	irsload -addr ... -encoding binary -mode open -rate 20000
+//	irsload -addr ... -encoding both -json BENCH_serving.json
+//
+// Two load models:
+//
+//   - closed (default): -concurrency workers each issue requests
+//     back-to-back, so offered load adapts to service rate — the model for
+//     measuring peak sustainable throughput.
+//   - open: arrivals are dispatched at a fixed -rate regardless of
+//     completions (each request on its own goroutine), so latency includes
+//     queueing under an offered load the server does not control — the
+//     model for measuring behavior at a target traffic level.
+//
+// With -encoding both the same phase runs once per encoding and the JSON
+// document carries a binary-over-JSON throughput ratio, the headline the
+// binary wire format exists for. Overloaded (503) responses count as
+// rejected, not errors: backpressure is a correct answer under load.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/irsgo/irs/server"
+)
+
+type latencySummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// encodingResult is one measured phase (one encoding, one load model).
+type encodingResult struct {
+	Encoding string `json:"encoding"` // "json" or "binary"
+	Mode     string `json:"mode"`     // "closed" or "open"
+	Requests int    `json:"requests"`
+	Rejected int    `json:"rejected"` // 503 overloaded (backpressure)
+	Errors   int    `json:"errors"`   // everything else
+	// Dropped counts open-loop arrivals the generator itself discarded
+	// because all in-flight slots were busy — generator saturation, not
+	// server backpressure.
+	Dropped       int            `json:"dropped_by_generator,omitempty"`
+	DurationSec   float64        `json:"duration_s"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	SamplesPerSec float64        `json:"samples_per_s"`
+	LatencyUS     latencySummary `json:"latency_us"`
+	MallocsPerOp  float64        `json:"client_mallocs_per_op"`
+}
+
+// benchDoc is the BENCH_serving.json document.
+type benchDoc struct {
+	GeneratedAt time.Time        `json:"generated_at"`
+	Addr        string           `json:"addr"`
+	Dataset     string           `json:"dataset,omitempty"`
+	Mode        string           `json:"mode"`
+	Concurrency int              `json:"concurrency"`
+	RatePerSec  float64          `json:"rate_per_s,omitempty"` // open mode only
+	T           int              `json:"t"`
+	Lo          float64          `json:"lo"`
+	Hi          float64          `json:"hi"`
+	Results     []encodingResult `json:"results"`
+	// SpeedupBinaryOverJSON is binary throughput / JSON throughput when
+	// both encodings ran.
+	SpeedupBinaryOverJSON float64 `json:"speedup_binary_over_json,omitempty"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "base URL of a running irsd (required), e.g. http://127.0.0.1:8080")
+		dataset  = flag.String("dataset", "", "dataset name (empty = the daemon's sole dataset)")
+		encoding = flag.String("encoding", "both", "wire encoding to drive: json, binary, or both")
+		mode     = flag.String("mode", "closed", "load model: closed (fixed concurrency) or open (fixed arrival rate)")
+		conc     = flag.Int("concurrency", 64, "closed-loop worker count (also bounds open-loop in-flight requests)")
+		rate     = flag.Float64("rate", 10_000, "open-loop arrival rate, requests/s")
+		tPer     = flag.Int("t", 256, "samples per request")
+		lo       = flag.Float64("lo", 0, "range lower bound")
+		hi       = flag.Float64("hi", 1e6, "range upper bound")
+		duration = flag.Duration("duration", 3*time.Second, "measured window per encoding")
+		warmup   = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per encoding")
+		ensure   = flag.Int("ensure", 100_000, "insert this many uniform keys first if the dataset is empty (0 skips)")
+		jsonPath = flag.String("json", "", "also write the structured results to this file")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	if *addr == "" {
+		log.Fatal("irsload: -addr is required (point it at a running irsd)")
+	}
+	if *mode != "closed" && *mode != "open" {
+		log.Fatalf("irsload: unknown -mode %q (want closed or open)", *mode)
+	}
+	var encodings []string
+	switch *encoding {
+	case "json":
+		encodings = []string{"json"}
+	case "binary":
+		encodings = []string{"binary"}
+	case "both":
+		encodings = []string{"json", "binary"}
+	default:
+		log.Fatalf("irsload: unknown -encoding %q (want json, binary, or both)", *encoding)
+	}
+
+	ctx := context.Background()
+	cl := server.NewClient(*addr)
+	if err := ensurePopulated(ctx, cl, *dataset, *ensure, *lo, *hi); err != nil {
+		log.Fatalf("irsload: %v", err)
+	}
+
+	doc := benchDoc{
+		GeneratedAt: time.Now().UTC(),
+		Addr:        *addr,
+		Dataset:     *dataset,
+		Mode:        *mode,
+		Concurrency: *conc,
+		T:           *tPer,
+		Lo:          *lo,
+		Hi:          *hi,
+	}
+	if *mode == "open" {
+		doc.RatePerSec = *rate
+	}
+	for _, enc := range encodings {
+		cl := server.NewClient(*addr)
+		cl.Binary = enc == "binary"
+		fmt.Printf("irsload: %s over %s, %s warm-up + %s measured...\n", *mode, enc, *warmup, *duration)
+		var res encodingResult
+		if *mode == "closed" {
+			closedLoop(ctx, cl, *dataset, *lo, *hi, *tPer, *conc, *warmup) // warm-up, discarded
+			res = closedLoop(ctx, cl, *dataset, *lo, *hi, *tPer, *conc, *duration)
+		} else {
+			openLoop(ctx, cl, *dataset, *lo, *hi, *tPer, *conc, *rate, *warmup)
+			res = openLoop(ctx, cl, *dataset, *lo, *hi, *tPer, *conc, *rate, *duration)
+		}
+		res.Encoding, res.Mode = enc, *mode
+		doc.Results = append(doc.Results, res)
+		fmt.Printf("  %d requests (%d rejected, %d errors) in %.2fs: %.0f req/s, %.2fM samples/s\n",
+			res.Requests, res.Rejected, res.Errors, res.DurationSec, res.ThroughputRPS, res.SamplesPerSec/1e6)
+		fmt.Printf("  latency p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus, %.1f client mallocs/op\n",
+			res.LatencyUS.P50, res.LatencyUS.P90, res.LatencyUS.P99, res.LatencyUS.Max, res.MallocsPerOp)
+	}
+	if len(doc.Results) == 2 && doc.Results[0].ThroughputRPS > 0 {
+		doc.SpeedupBinaryOverJSON = doc.Results[1].ThroughputRPS / doc.Results[0].ThroughputRPS
+		fmt.Printf("irsload: binary / JSON throughput = %.2fx\n", doc.SpeedupBinaryOverJSON)
+	}
+	if *jsonPath != "" {
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("irsload: encoding -json: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("irsload: writing %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("irsload: structured results written to %s\n", *jsonPath)
+	}
+	for _, r := range doc.Results {
+		if r.Errors > 0 {
+			os.Exit(1) // a red harness run must fail CI
+		}
+	}
+}
+
+// ensurePopulated inserts n uniform keys in [lo, hi] when the target
+// dataset is empty, so a freshly started daemon can be driven without a
+// separate seeding step. An already-populated dataset is left untouched.
+func ensurePopulated(ctx context.Context, cl *server.Client, dataset string, n int, lo, hi float64) error {
+	if n <= 0 {
+		return nil
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	for _, d := range st.Datasets {
+		if (dataset == "" && len(st.Datasets) == 1 || d.Name == dataset) && d.Len > 0 {
+			return nil
+		}
+	}
+	keys := make([]float64, 0, 10_000)
+	span := hi - lo
+	for i := 0; i < n; i += len(keys) {
+		keys = keys[:0]
+		for j := i; j < n && len(keys) < cap(keys); j++ {
+			keys = append(keys, lo+span*float64(j)/float64(n))
+		}
+		if _, err := cl.InsertKeys(ctx, dataset, keys); err != nil {
+			return fmt.Errorf("preload insert: %w", err)
+		}
+	}
+	fmt.Printf("irsload: preloaded %d keys into %q\n", n, dataset)
+	return nil
+}
+
+// measure aggregates one phase's per-request observations.
+type measure struct {
+	mu       sync.Mutex
+	lats     []time.Duration
+	rejected int
+	errors   int
+	dropped  int
+	samples  int
+}
+
+func (m *measure) drop() {
+	m.mu.Lock()
+	m.dropped++
+	m.mu.Unlock()
+}
+
+func (m *measure) note(lat time.Duration, got int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case errors.Is(err, server.ErrOverloaded):
+		m.rejected++
+	case err != nil:
+		m.errors++
+	default:
+		m.lats = append(m.lats, lat)
+		m.samples += got
+	}
+}
+
+func (m *measure) result(elapsed time.Duration, mallocs uint64) encodingResult {
+	sort.Slice(m.lats, func(i, j int) bool { return m.lats[i] < m.lats[j] })
+	pct := func(p float64) float64 {
+		if len(m.lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(m.lats)-1))
+		return float64(m.lats[i]) / float64(time.Microsecond)
+	}
+	res := encodingResult{
+		Requests:    len(m.lats),
+		Rejected:    m.rejected,
+		Errors:      m.errors,
+		Dropped:     m.dropped,
+		DurationSec: elapsed.Seconds(),
+		LatencyUS:   latencySummary{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: pct(1)},
+	}
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(len(m.lats)) / elapsed.Seconds()
+		res.SamplesPerSec = float64(m.samples) / elapsed.Seconds()
+	}
+	total := len(m.lats) + m.rejected + m.errors
+	if total > 0 {
+		res.MallocsPerOp = float64(mallocs) / float64(total)
+	}
+	return res
+}
+
+// closedLoop runs workers requesters back-to-back for dur and aggregates.
+func closedLoop(ctx context.Context, cl *server.Client, dataset string, lo, hi float64, t, workers int, dur time.Duration) encodingResult {
+	var m measure
+	deadline := time.Now().Add(dur)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []float64
+			var err error
+			for time.Now().Before(deadline) {
+				s := time.Now()
+				buf, err = cl.SampleAppend(ctx, dataset, buf[:0], lo, hi, t)
+				m.note(time.Since(s), len(buf), err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return m.result(elapsed, ms1.Mallocs-ms0.Mallocs)
+}
+
+// openLoop dispatches arrivals at rate req/s for dur, each on its own
+// goroutine, with at most maxInflight outstanding (arrivals past that
+// bound are counted as dropped_by_generator — the load generator itself
+// saturated, which is not server backpressure).
+func openLoop(ctx context.Context, cl *server.Client, dataset string, lo, hi float64, t, maxInflight int, rate float64, dur time.Duration) encodingResult {
+	var m measure
+	if rate <= 0 {
+		rate = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	sem := make(chan struct{}, maxInflight)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(dur)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		select {
+		case sem <- struct{}{}:
+		default:
+			m.drop() // generator saturated, not server backpressure
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s := time.Now()
+			out, err := cl.Sample(ctx, dataset, lo, hi, t)
+			m.note(time.Since(s), len(out), err)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return m.result(elapsed, ms1.Mallocs-ms0.Mallocs)
+}

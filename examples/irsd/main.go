@@ -11,6 +11,11 @@
 //	go run ./examples/irsd                      # self-hosted
 //	irsd -addr 127.0.0.1:0 -datasets demo &     # then:
 //	go run ./examples/irsd -addr http://127.0.0.1:<port>
+//	go run ./examples/irsd -binary              # compact binary frames
+//
+// With -binary the client speaks the compact binary wire format on the
+// /sample and /insert hot paths (Content-Type: application/x-irs-bin)
+// instead of JSON; results are identical, the codec is just cheaper.
 //
 // The process exits non-zero on any protocol or correctness failure, so it
 // doubles as a smoke check.
@@ -40,6 +45,7 @@ func main() {
 		reqs      = flag.Int("requests", 50, "sample requests per client")
 		verifyLen = flag.Int("verify-len", -1, "verify-only mode: assert the sole dataset holds exactly this many keys, then exit (CI crash-recovery check)")
 		snapshot  = flag.Bool("snapshot", false, "trigger a /snapshot after the insert phase (durable daemons)")
+		binary    = flag.Bool("binary", false, "drive /sample and /insert over the compact binary frames instead of JSON")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -59,6 +65,7 @@ func main() {
 		fmt.Printf("self-hosted daemon on %s\n", base)
 	}
 	cl := server.NewClient(base)
+	cl.Binary = *binary
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 

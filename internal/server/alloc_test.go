@@ -1,0 +1,112 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/irsgo/irs/internal/shard"
+)
+
+// newAllocCore builds a single-dataset core shaped like a steady-state
+// deployment: preloaded keys across several shards, one flusher (so the
+// measurement isn't racing a second worker's warm-up), and no linger
+// window (the linger timer itself is reuse-tested separately — a window
+// would add wall-clock, not allocations).
+func newAllocCore(t testing.TB, cfg Config) *Core[float64] {
+	t.Helper()
+	keys := make([]float64, 10_000)
+	for i := range keys {
+		keys[i] = float64(i)
+	}
+	u, err := shard.NewFromSortedSeeded(keys, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore[float64](cfg)
+	if err := core.Add("u", NewUnweightedDataset(u)); err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+// TestSampleAppendZeroAllocs pins the tentpole claim: a steady-state
+// SampleAppend round trip through the core — admission, coalescing, the
+// backend SampleManyAppend, scatter, reply — performs zero heap
+// allocations per request. AllocsPerRun counts mallocs process-wide, so
+// the gatherer and flusher goroutines are covered, not just the caller.
+func TestSampleAppendZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates and drops pool Puts")
+	}
+	core := newAllocCore(t, Config{Flushers: 1})
+	defer core.Close()
+
+	var dst []float64
+	var err error
+	// Warm up every pooled/reusable buffer: reply channel, batch slice,
+	// flusher scratch, backend query scratch, and dst itself.
+	for i := 0; i < 64; i++ {
+		dst, err = core.SampleAppend("u", dst[:0], 0, 9_999, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		dst, err = core.SampleAppend("u", dst[:0], 0, 9_999, 16)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) != 16 {
+		t.Fatalf("got %d samples", len(dst))
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state SampleAppend allocates %.1f times per request, want 0", allocs)
+	}
+}
+
+// TestSampleAppendZeroAllocsWithWindow repeats the regression with a
+// configured linger window: the gatherer's timer must be Reset, not
+// re-allocated, per batch. The window is a single nanosecond so the test
+// pays (almost) no wall-clock for it.
+func TestSampleAppendZeroAllocsWithWindow(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates and drops pool Puts")
+	}
+	core := newAllocCore(t, Config{Flushers: 1, CoalesceWindow: 1})
+	defer core.Close()
+
+	var dst []float64
+	var err error
+	for i := 0; i < 64; i++ {
+		dst, err = core.SampleAppend("u", dst[:0], 0, 9_999, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, err = core.SampleAppend("u", dst[:0], 0, 9_999, 8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state SampleAppend with linger window allocates %.1f times per request, want 0", allocs)
+	}
+}
+
+// BenchmarkCoreSampleAppend is the core-level serving benchmark the alloc
+// regression is derived from; -benchmem reports the same 0 allocs/op.
+func BenchmarkCoreSampleAppend(b *testing.B) {
+	core := newAllocCore(b, Config{Flushers: 1})
+	defer core.Close()
+	var dst []float64
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = core.SampleAppend("u", dst[:0], 0, 9_999, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

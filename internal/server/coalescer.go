@@ -6,7 +6,10 @@ import (
 )
 
 // request is one caller waiting inside a coalescer: a payload plus a
-// 1-buffered reply channel its flush writes exactly one result into.
+// 1-buffered reply channel its flush writes exactly one result into. The
+// reply channel is pooled: every accepted request is answered exactly once,
+// so after the submitter has received, the channel is empty and safe to
+// hand to the next submitter.
 type request[Q, R any] struct {
 	q   Q
 	out chan result[R]
@@ -15,6 +18,15 @@ type request[Q, R any] struct {
 type result[R any] struct {
 	v   R
 	err error
+}
+
+// batch is one gatherer-formed batch travelling to a flusher. It is a
+// pointer-carried struct (not a bare slice) so the flusher can return the
+// backing array to the pool after flushing — the slice may have grown in
+// the gatherer's hands, and a pooled pointer round-trips that growth
+// without an allocation per Put.
+type batch[Q, R any] struct {
+	reqs []request[Q, R]
 }
 
 // coalescer merges concurrently-arriving requests into batches:
@@ -32,13 +44,19 @@ type result[R any] struct {
 //     workers saturate, the queue backs up, and batches grow toward
 //     maxBatch — coalescing intensifies exactly when amortization pays.
 //
-// Each flusher owns private state (in particular its sampling RNG) through
-// the newFlush factory, so flushes need no locking of their own.
+// Each flusher owns private state (in particular its sampling RNG and
+// result scratch) through the newFlush factory, so flushes need no locking
+// of their own. Everything per-request on the steady-state path — the reply
+// channel, the batch slice, the gatherer's linger timer — is pooled or
+// reused, so a coalesced round trip performs no heap allocation of its own.
 type coalescer[Q, R any] struct {
 	reqs     chan request[Q, R]
-	batches  chan []request[Q, R]
+	batches  chan *batch[Q, R]
 	window   time.Duration
 	maxBatch int
+
+	outPool   sync.Pool // chan result[R], recycled across submits
+	batchPool sync.Pool // *batch[Q, R], recycled across flushes
 
 	mu       sync.RWMutex // guards closed; held shared around every send
 	closed   bool
@@ -51,7 +69,7 @@ type coalescer[Q, R any] struct {
 func newCoalescer[Q, R any](queueDepth, maxBatch, workers int, window time.Duration, newFlush func() func([]request[Q, R])) *coalescer[Q, R] {
 	c := &coalescer[Q, R]{
 		reqs:     make(chan request[Q, R], queueDepth),
-		batches:  make(chan []request[Q, R], workers),
+		batches:  make(chan *batch[Q, R], workers),
 		window:   window,
 		maxBatch: maxBatch,
 		loopDone: make(chan struct{}),
@@ -61,8 +79,9 @@ func newCoalescer[Q, R any](queueDepth, maxBatch, workers int, window time.Durat
 		go func() {
 			defer c.flushers.Done()
 			flush := newFlush()
-			for batch := range c.batches {
-				flush(batch)
+			for b := range c.batches {
+				flush(b.reqs)
+				c.putBatch(b)
 			}
 		}()
 	}
@@ -70,14 +89,39 @@ func newCoalescer[Q, R any](queueDepth, maxBatch, workers int, window time.Durat
 	return c
 }
 
+func (c *coalescer[Q, R]) getOut() chan result[R] {
+	if out, ok := c.outPool.Get().(chan result[R]); ok {
+		return out
+	}
+	return make(chan result[R], 1)
+}
+
+func (c *coalescer[Q, R]) getBatch() *batch[Q, R] {
+	if b, ok := c.batchPool.Get().(*batch[Q, R]); ok {
+		return b
+	}
+	return &batch[Q, R]{reqs: make([]request[Q, R], 0, 8)}
+}
+
+// putBatch clears the flushed batch — dropping its references to reply
+// channels and payloads so the pool retains only the backing array — and
+// recycles it.
+func (c *coalescer[Q, R]) putBatch(b *batch[Q, R]) {
+	clear(b.reqs)
+	b.reqs = b.reqs[:0]
+	c.batchPool.Put(b)
+}
+
 // submit enqueues q and blocks until its batch is flushed. Every accepted
 // request is answered exactly once, including requests still queued when
 // close begins (close drains before returning).
 func (c *coalescer[Q, R]) submit(q Q) (R, error) {
-	r := request[Q, R]{q: q, out: make(chan result[R], 1)}
+	out := c.getOut()
+	r := request[Q, R]{q: q, out: out}
 	c.mu.RLock()
 	if c.closed {
 		c.mu.RUnlock()
+		c.outPool.Put(out)
 		var zero R
 		return zero, ErrShuttingDown
 	}
@@ -86,10 +130,12 @@ func (c *coalescer[Q, R]) submit(q Q) (R, error) {
 		c.mu.RUnlock()
 	default:
 		c.mu.RUnlock()
+		c.outPool.Put(out)
 		var zero R
 		return zero, ErrOverloaded
 	}
-	res := <-r.out
+	res := <-out
+	c.outPool.Put(out)
 	return res.v, res.err
 }
 
@@ -109,18 +155,28 @@ func (c *coalescer[Q, R]) close() {
 	c.flushers.Wait()
 }
 
-// loop is the gatherer: batch formation only, never backend work.
+// loop is the gatherer: batch formation only, never backend work. Its
+// linger timer is created once and Reset per batch (Go 1.23+ timer
+// semantics make Reset safe without draining), so a configured window does
+// not cost a timer allocation per batch.
 func (c *coalescer[Q, R]) loop() {
 	defer close(c.loopDone)
 	defer close(c.batches)
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		r, ok := <-c.reqs
 		if !ok {
 			return
 		}
-		batch := append(make([]request[Q, R], 0, 8), r)
-		alive := c.gather(&batch)
-		c.batches <- batch
+		b := c.getBatch()
+		b.reqs = append(b.reqs, r)
+		alive := c.gather(&b.reqs, &timer)
+		c.batches <- b
 		if !alive {
 			return
 		}
@@ -131,7 +187,7 @@ func (c *coalescer[Q, R]) loop() {
 // available, then — when a linger window is configured — whatever arrives
 // before the window closes, stopping early at maxBatch requests. It reports
 // false once the queue has been closed and drained.
-func (c *coalescer[Q, R]) gather(batch *[]request[Q, R]) bool {
+func (c *coalescer[Q, R]) gather(batch *[]request[Q, R], timer **time.Timer) bool {
 	for len(*batch) < c.maxBatch {
 		select {
 		case r, ok := <-c.reqs:
@@ -147,18 +203,25 @@ func (c *coalescer[Q, R]) gather(batch *[]request[Q, R]) bool {
 	if c.window <= 0 || len(*batch) >= c.maxBatch {
 		return true
 	}
-	timer := time.NewTimer(c.window)
-	defer timer.Stop()
+	t := *timer
+	if t == nil {
+		t = time.NewTimer(c.window)
+		*timer = t
+	} else {
+		t.Reset(c.window)
+	}
 	for len(*batch) < c.maxBatch {
 		select {
 		case r, ok := <-c.reqs:
 			if !ok {
+				t.Stop()
 				return false
 			}
 			*batch = append(*batch, r)
-		case <-timer.C:
+		case <-t.C:
 			return true
 		}
 	}
+	t.Stop()
 	return true
 }

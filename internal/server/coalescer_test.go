@@ -43,6 +43,24 @@ func (d *stubDataset) SampleMany(queries []shard.Query[int], rng *xrand.RNG) ([]
 	return out, nil
 }
 
+func (d *stubDataset) SampleManyAppend(dst []int, starts []int, queries []shard.Query[int], rng *xrand.RNG) ([]int, []int, error) {
+	d.mu.Lock()
+	d.sampleCalls = append(d.sampleCalls, len(queries))
+	gate := d.sampleGate
+	d.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	starts = append(starts, len(dst))
+	for _, q := range queries {
+		for j := 0; j < q.T; j++ {
+			dst = append(dst, q.Lo)
+		}
+		starts = append(starts, len(dst))
+	}
+	return dst, starts, nil
+}
+
 func (d *stubDataset) InsertItems(items []Item[int]) error {
 	d.mu.Lock()
 	d.insertCalls = append(d.insertCalls, len(items))
@@ -60,10 +78,10 @@ func (d *stubDataset) DeleteKeys(keys []int) int { return len(keys) }
 func (d *stubDataset) UpdateWeights(items []Item[int]) int { return len(items) }
 
 func (d *stubDataset) ExportItems(dst []Item[int]) []Item[int] { return dst }
-func (d *stubDataset) Len() int                  { d.mu.Lock(); defer d.mu.Unlock(); return d.stored }
-func (d *stubDataset) Stats() shard.Stats        { return shard.Stats{Len: d.Len(), Shards: 1} }
-func (d *stubDataset) Weighted() bool            { return false }
-func (d *stubDataset) NewStream() *xrand.RNG     { return xrand.New(1) }
+func (d *stubDataset) Len() int                                { d.mu.Lock(); defer d.mu.Unlock(); return d.stored }
+func (d *stubDataset) Stats() shard.Stats                      { return shard.Stats{Len: d.Len(), Shards: 1} }
+func (d *stubDataset) Weighted() bool                          { return false }
+func (d *stubDataset) NewStream() *xrand.RNG                   { return xrand.New(1) }
 
 func (d *stubDataset) calls() (samples, inserts []int) {
 	d.mu.Lock()

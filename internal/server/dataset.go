@@ -30,6 +30,13 @@ type Dataset[K cmp.Ordered] interface {
 	// holds queries[i]'s samples, nil for a query over a range with no
 	// sampling mass.
 	SampleMany(queries []shard.Query[K], rng *xrand.RNG) ([][]K, error)
+	// SampleManyAppend is SampleMany with caller-owned storage — the
+	// serving hot path: samples append to dst, per-query boundaries append
+	// to starts (len(queries)+1 of them), so queries[i]'s samples occupy
+	// dst[starts[i]:starts[i+1]] and an empty segment marks a range with no
+	// sampling mass. Steady-state calls must not allocate once the buffers
+	// have warmed up.
+	SampleManyAppend(dst []K, starts []int, queries []shard.Query[K], rng *xrand.RNG) ([]K, []int, error)
 	// InsertItems stores every item. Weights were validated by the Core
 	// before submission, so an error here fails the whole merged batch.
 	InsertItems(items []Item[K]) error
@@ -72,6 +79,10 @@ func (d *unweightedDataset[K]) SampleMany(queries []shard.Query[K], rng *xrand.R
 	return d.c.SampleMany(queries, rng)
 }
 
+func (d *unweightedDataset[K]) SampleManyAppend(dst []K, starts []int, queries []shard.Query[K], rng *xrand.RNG) ([]K, []int, error) {
+	return d.c.SampleManyAppend(dst, starts, queries, rng)
+}
+
 func (d *unweightedDataset[K]) InsertItems(items []Item[K]) error {
 	keys := make([]K, len(items))
 	for i, it := range items {
@@ -109,6 +120,10 @@ func NewWeightedDataset[K cmp.Ordered](w *shard.WeightedConcurrent[K]) Dataset[K
 
 func (d *weightedDataset[K]) SampleMany(queries []shard.Query[K], rng *xrand.RNG) ([][]K, error) {
 	return d.w.SampleMany(queries, rng)
+}
+
+func (d *weightedDataset[K]) SampleManyAppend(dst []K, starts []int, queries []shard.Query[K], rng *xrand.RNG) ([]K, []int, error) {
+	return d.w.SampleManyAppend(dst, starts, queries, rng)
 }
 
 func (d *weightedDataset[K]) InsertItems(items []Item[K]) error {

@@ -119,12 +119,20 @@ type Core[K cmp.Ordered] struct {
 	closed bool
 }
 
+// sampleArg is one sample request travelling through the coalescer: the
+// query plus the caller-provided buffer its samples are appended to (nil
+// for plain Sample calls, a reused buffer for SampleAppend callers).
+type sampleArg[K cmp.Ordered] struct {
+	q   shard.Query[K]
+	dst []K
+}
+
 // dsState is one registered dataset with its two coalescers and, when
 // registered through AddDurable, its persistence store.
 type dsState[K cmp.Ordered] struct {
 	name     string
 	ds       Dataset[K]
-	samples  *coalescer[shard.Query[K], []K]
+	samples  *coalescer[sampleArg[K], []K]
 	inserts  *coalescer[[]Item[K], int]
 	counters counters
 
@@ -166,14 +174,16 @@ func (c *Core[K]) add(name string, ds Dataset[K], store *persist.Store[K], recov
 	}
 	st := &dsState[K]{name: name, ds: ds, store: store, recovery: recovered}
 	cfg := c.cfg
-	st.samples = newCoalescer[shard.Query[K], []K](cfg.QueueDepth, cfg.MaxBatch, cfg.Flushers, cfg.CoalesceWindow,
-		func() func([]request[shard.Query[K], []K]) {
-			rng := ds.NewStream() // one private stream per flusher
-			return func(batch []request[shard.Query[K], []K]) { st.flushSamples(batch, rng) }
+	st.samples = newCoalescer[sampleArg[K], []K](cfg.QueueDepth, cfg.MaxBatch, cfg.Flushers, cfg.CoalesceWindow,
+		func() func([]request[sampleArg[K], []K]) {
+			// One private RNG stream and one private scratch set per flusher.
+			f := &sampleFlusher[K]{st: st, rng: ds.NewStream()}
+			return f.flush
 		})
 	st.inserts = newCoalescer[[]Item[K], int](cfg.QueueDepth, cfg.MaxBatch, cfg.Flushers, cfg.CoalesceWindow,
 		func() func([]request[[]Item[K], int]) {
-			return st.flushInserts
+			f := &insertFlusher[K]{st: st}
+			return f.flush
 		})
 	c.byName[name] = st
 	return nil
@@ -232,45 +242,86 @@ func (c *Core[K]) Datasets() []string {
 // SampleMany call. Validation happens before admission, so malformed
 // requests never consume queue capacity.
 func (c *Core[K]) Sample(name string, lo, hi K, t int) ([]K, error) {
+	return c.SampleAppend(name, nil, lo, hi, t)
+}
+
+// SampleAppend is Sample appending into dst — the allocation-free spelling
+// for callers that reuse a buffer across requests (the HTTP handler's
+// pooled response buffers do). A steady-state round trip through the core
+// performs zero heap allocations per request: the reply channel, batch
+// slice, flusher scratch, and backend query scratch are all pooled or
+// flusher-owned, and the samples land directly in dst. On error dst is
+// returned unchanged.
+func (c *Core[K]) SampleAppend(name string, dst []K, lo, hi K, t int) ([]K, error) {
 	if t <= 0 {
-		return nil, ErrInvalidCount
+		return dst, ErrInvalidCount
 	}
 	if hi < lo {
-		return nil, ErrInvalidRange
+		return dst, ErrInvalidRange
 	}
 	st, err := c.lookup(name)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	st.counters.sampleRequests.Add(1)
-	out, err := st.samples.submit(shard.Query[K]{Lo: lo, Hi: hi, T: t})
-	if errors.Is(err, ErrOverloaded) {
-		st.counters.sampleRejected.Add(1)
+	out, err := st.samples.submit(sampleArg[K]{q: shard.Query[K]{Lo: lo, Hi: hi, T: t}, dst: dst})
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			st.counters.sampleRejected.Add(1)
+		}
+		return dst, err
 	}
-	return out, err
+	return out, nil
 }
 
-// flushSamples answers one coalesced batch with a single SampleMany call
-// and scatters the per-query results back to their requesters. rng is
-// owned by the calling flusher goroutine.
-func (st *dsState[K]) flushSamples(batch []request[shard.Query[K], []K], rng *xrand.RNG) {
+// maxRetainedScratch bounds the element capacity a flusher keeps between
+// flushes: scratch grown past it by one outsized batch is dropped after
+// use rather than pinning high-water memory for the server's lifetime.
+// Steady-state batches (MaxBatch requests of ordinary t) stay well under
+// it, so the zero-alloc property is unaffected.
+const maxRetainedScratch = 1 << 16
+
+// sampleFlusher is one sample flush worker's private state: its RNG stream
+// plus reusable scratch — the query slice, the flat result buffer every
+// query's samples land in, and the per-query boundaries — so a steady-state
+// flush performs no heap allocation of its own.
+type sampleFlusher[K cmp.Ordered] struct {
+	st      *dsState[K]
+	rng     *xrand.RNG
+	queries []shard.Query[K]
+	flat    []K
+	starts  []int
+}
+
+// flush answers one coalesced batch with a single SampleManyAppend call
+// into the flusher's flat buffer and scatters each query's segment back to
+// its requester, appending into the requester's own dst buffer.
+func (f *sampleFlusher[K]) flush(batch []request[sampleArg[K], []K]) {
+	st := f.st
 	st.counters.noteSampleBatch(len(batch))
-	queries := make([]shard.Query[K], len(batch))
-	for i, r := range batch {
-		queries[i] = r.q
+	f.queries = f.queries[:0]
+	for _, r := range batch {
+		f.queries = append(f.queries, r.q.q)
 	}
-	results, err := st.ds.SampleMany(queries, rng)
+	flat, starts, err := st.ds.SampleManyAppend(f.flat[:0], f.starts[:0], f.queries, f.rng)
+	if cap(flat) <= maxRetainedScratch {
+		f.flat = flat
+	} else {
+		f.flat = nil
+	}
+	f.starts = starts
 	for i, r := range batch {
 		switch {
 		case err != nil:
 			r.out <- result[[]K]{err: err}
-		case len(results[i]) == 0:
-			// T was validated positive, so an empty result means the range
+		case starts[i+1] == starts[i]:
+			// T was validated positive, so an empty segment means the range
 			// had no sampling mass at flush time.
 			r.out <- result[[]K]{err: ErrEmptyRange}
 		default:
-			st.counters.samplesReturned.Add(uint64(len(results[i])))
-			r.out <- result[[]K]{v: results[i]}
+			seg := flat[starts[i]:starts[i+1]]
+			st.counters.samplesReturned.Add(uint64(len(seg)))
+			r.out <- result[[]K]{v: append(r.q.dst, seg...)}
 		}
 	}
 }
@@ -304,21 +355,32 @@ func (c *Core[K]) Insert(name string, items []Item[K]) (int, error) {
 	return n, err
 }
 
-// flushInserts concatenates one coalesced batch of insert requests and
-// stores it with a single InsertBatch call — preceded, on durable
-// datasets, by a single WAL append covering the whole merged batch, so
-// the fsync cost amortizes across every coalesced request.
-func (st *dsState[K]) flushInserts(batch []request[[]Item[K], int]) {
+// insertFlusher is one insert flush worker's private state: the reusable
+// concatenation buffer merged batches are assembled in, so the per-flush
+// cost is the backend call (and, on durable datasets, the WAL append), not
+// a fresh slice per flush.
+type insertFlusher[K cmp.Ordered] struct {
+	st    *dsState[K]
+	items []Item[K]
+}
+
+// flush concatenates one coalesced batch of insert requests and stores it
+// with a single InsertBatch call — preceded, on durable datasets, by a
+// single WAL append covering the whole merged batch, so the fsync cost
+// amortizes across every coalesced request. The backend does not retain
+// the items slice, so the buffer is safe to reuse on the next flush.
+func (f *insertFlusher[K]) flush(batch []request[[]Item[K], int]) {
+	st := f.st
 	st.counters.insertBatches.Add(1)
-	total := 0
+	f.items = f.items[:0]
 	for _, r := range batch {
-		total += len(r.q)
+		f.items = append(f.items, r.q...)
 	}
-	items := make([]Item[K], 0, total)
-	for _, r := range batch {
-		items = append(items, r.q...)
+	total := len(f.items)
+	err := st.applyInsert(f.items)
+	if cap(f.items) > maxRetainedScratch {
+		f.items = nil
 	}
-	err := st.applyInsert(items)
 	if err == nil {
 		st.counters.itemsInserted.Add(uint64(total))
 	}

@@ -132,37 +132,12 @@ func (c *engine[K, I, B]) SampleMany(queries []Query[K], rng *xrand.RNG) ([][]K,
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
 
-	// Exact union of the shards the batch touches — shards no query
-	// overlaps are not locked, so writers there proceed during the batch.
-	// Locks are still acquired in ascending shard order (the global lock
-	// order), just skipping the gaps.
-	needed := make([]bool, len(c.shards))
-	any := false
-	for _, q := range queries {
-		if q.Hi < q.Lo {
-			continue
-		}
-		a, b := c.shardRange(q.Lo, q.Hi)
-		for i := a; i <= b; i++ {
-			needed[i] = true
-		}
-		any = true
-	}
-	if !any {
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	if !c.rlockUnion(sc, queries) {
 		return results, nil // every query range is inverted
 	}
-	for i, n := range needed {
-		if n {
-			c.shards[i].mu.RLock()
-		}
-	}
-	defer func() {
-		for i, n := range needed {
-			if n {
-				c.shards[i].mu.RUnlock()
-			}
-		}
-	}()
+	defer c.runlockUnion(sc)
 
 	answer := func(sc *queryScratch[K], q Query[K], r *xrand.RNG) []K {
 		if q.Hi < q.Lo {
@@ -180,8 +155,6 @@ func (c *engine[K, I, B]) SampleMany(queries []Query[K], rng *xrand.RNG) ([][]K,
 		workers = len(queries)
 	}
 	if totalT < parallelQueryMin || workers < 2 {
-		sc := c.getScratch()
-		defer c.putScratch(sc)
 		for i, q := range queries {
 			results[i] = answer(sc, q, rng)
 		}
@@ -213,4 +186,114 @@ func (c *engine[K, I, B]) SampleMany(queries []Query[K], rng *xrand.RNG) ([][]K,
 	}
 	wg.Wait()
 	return results, nil
+}
+
+// rlockUnion read-locks the exact union of the shards any query in the
+// batch overlaps, recording the locked set in sc.needed (so repeated
+// batches through pooled scratch never allocate the bitmap). Locks are
+// acquired in ascending shard order — the global lock order — skipping the
+// gaps. It reports false, taking no locks, when every query range is
+// inverted. Callers must hold topoMu shared and later release via
+// runlockUnion with the same scratch.
+func (c *engine[K, I, B]) rlockUnion(sc *queryScratch[K], queries []Query[K]) bool {
+	sc.needed = resizeBools(sc.needed, len(c.shards))
+	any := false
+	for _, q := range queries {
+		if q.Hi < q.Lo {
+			continue
+		}
+		a, b := c.shardRange(q.Lo, q.Hi)
+		for i := a; i <= b; i++ {
+			sc.needed[i] = true
+		}
+		any = true
+	}
+	if !any {
+		return false
+	}
+	for i, n := range sc.needed {
+		if n {
+			c.shards[i].mu.RLock()
+		}
+	}
+	return true
+}
+
+func (c *engine[K, I, B]) runlockUnion(sc *queryScratch[K]) {
+	for i, n := range sc.needed {
+		if n {
+			c.shards[i].mu.RUnlock()
+		}
+	}
+}
+
+// SampleManyAppend is SampleMany with caller-owned result storage, the
+// allocation-free spelling the serving layer's flush workers run on: every
+// sample is appended to dst and the per-query boundaries are appended to
+// starts, so after the call queries[i]'s samples occupy
+// dst[starts[i]:starts[i+1]] (exactly len(queries)+1 boundaries are
+// appended; pass dst[:0]/starts[:0] to reuse buffers across calls). A query
+// over an empty range — or, for weighted backends, a range whose total
+// weight is zero — contributes an empty segment rather than failing the
+// batch; a negative T fails the whole batch with core.ErrInvalidCount
+// before any sampling happens, leaving dst and starts unchanged.
+//
+// Locking and the sampling distribution are identical to SampleMany: one
+// consistent snapshot under the union of the overlapping shards' read
+// locks, exact multinomial cross-shard splits, mutual independence across
+// queries. Steady-state calls below the parallel fan-out threshold perform
+// zero heap allocations once dst, starts, and the pooled per-query scratch
+// have warmed up; batches large enough for the fan-out delegate to the
+// parallel SampleMany and copy, trading those allocations for wall-clock
+// time exactly when they are amortized across thousands of samples.
+func (c *engine[K, I, B]) SampleManyAppend(dst []K, starts []int, queries []Query[K], rng *xrand.RNG) ([]K, []int, error) {
+	totalT := 0
+	for _, q := range queries {
+		if q.T < 0 {
+			return dst, starts, core.ErrInvalidCount
+		}
+		totalT += q.T
+	}
+	base := len(starts)
+	starts = append(starts, len(dst))
+	if len(queries) == 0 {
+		return dst, starts, nil
+	}
+
+	if workers := min(runtime.GOMAXPROCS(0), len(queries)); totalT >= parallelQueryMin && workers >= 2 {
+		results, err := c.SampleMany(queries, rng)
+		if err != nil {
+			return dst, starts[:base], err
+		}
+		for _, res := range results {
+			dst = append(dst, res...)
+			starts = append(starts, len(dst))
+		}
+		return dst, starts, nil
+	}
+
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	if !c.rlockUnion(sc, queries) {
+		// Every query range is inverted: len(queries) empty segments.
+		for range queries {
+			starts = append(starts, len(dst))
+		}
+		return dst, starts, nil
+	}
+	defer c.runlockUnion(sc)
+	for _, q := range queries {
+		if q.Hi >= q.Lo {
+			// Only empty-range/zero-mass errors can reach here, and they
+			// leave dst untouched — the query just contributes an empty
+			// segment, exactly like SampleMany's nil result.
+			if out, err := c.sampleLocked(sc, dst, q.Lo, q.Hi, q.T, rng); err == nil {
+				dst = out
+			}
+		}
+		starts = append(starts, len(dst))
+	}
+	return dst, starts, nil
 }

@@ -29,6 +29,7 @@ type queryScratch[K cmp.Ordered] struct {
 	starts  []int     // block segment boundaries (tally prefix sums)
 	choice  []int32   // drawn overlapping-shard index per sample position
 	block   []K       // per-shard sample blocks, concatenated
+	needed  []bool    // shard-union lock set for SampleMany batches
 }
 
 func (c *engine[K, I, B]) getScratch() *queryScratch[K] {
@@ -230,4 +231,15 @@ func resizeInt32s(s []int32, n int) []int32 {
 		return make([]int32, n)
 	}
 	return s[:n]
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }

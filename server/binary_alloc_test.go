@@ -1,0 +1,105 @@
+package server
+
+import (
+	"testing"
+)
+
+// TestBinaryCodecZeroAllocs pins the pooled encode/decode paths: framing a
+// sample request, decoding it, framing the response, and decoding that
+// back must all run allocation-free once the caller's buffers are warm —
+// the property that keeps the binary wire path from re-introducing the
+// per-request garbage the serving core just eliminated.
+func TestBinaryCodecZeroAllocs(t *testing.T) {
+	samples := make([]float64, 256)
+	for i := range samples {
+		samples[i] = float64(i) * 1.5
+	}
+	frame := make([]byte, 0, 4096)
+	dst := make([]float64, 0, 256)
+	var err error
+
+	allocs := testing.AllocsPerRun(200, func() {
+		frame, err = encodeSampleRequest(frame[:0], binSampleReq{Dataset: "events", Lo: 1, Hi: 2, T: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("encodeSampleRequest allocates %.1f/op, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(200, func() {
+		frame = encodeSampleResponse(frame[:0], samples)
+	})
+	if allocs != 0 {
+		t.Errorf("encodeSampleResponse allocates %.1f/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		dst, err = decodeSampleResponse(frame, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("decodeSampleResponse allocates %.1f/op, want 0", allocs)
+	}
+	if len(dst) != len(samples) {
+		t.Fatalf("decoded %d samples, want %d", len(dst), len(samples))
+	}
+	for i := range dst {
+		if dst[i] != samples[i] {
+			t.Fatalf("sample %d: %v != %v", i, dst[i], samples[i])
+		}
+	}
+
+	// The sample request decode allocates only its dataset-name string (one
+	// small allocation, amortized by nothing — names are a few bytes).
+	req := binSampleReq{Dataset: "events", Lo: -3, Hi: 9, T: 17}
+	frame, err = encodeSampleRequest(frame[:0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSampleRequest(frame)
+	if err != nil || got != req {
+		t.Fatalf("round trip: %+v, %v (want %+v)", got, err, req)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		got, err = decodeSampleRequest(frame)
+	})
+	if allocs > 1 {
+		t.Errorf("decodeSampleRequest allocates %.1f/op, want <= 1 (the name string)", allocs)
+	}
+}
+
+// TestBinaryInsertCodecRoundTrip covers the insert frames, including the
+// negative-T-style edge of empty key/item sections.
+func TestBinaryInsertCodecRoundTrip(t *testing.T) {
+	for _, req := range []binInsertReq{
+		{Dataset: "d", Keys: []float64{1, 2, 3}},
+		{Dataset: "", Items: []Item{{Key: 4, Weight: 0.5}, {Key: 5, Weight: 2}}},
+		{Dataset: "both", Keys: []float64{9}, Items: []Item{{Key: 10, Weight: 7}}},
+		{Dataset: "empty"},
+	} {
+		frame, err := encodeInsertRequest(nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeInsertRequest(frame, nil, nil)
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		if got.Dataset != req.Dataset || len(got.Keys) != len(req.Keys) || len(got.Items) != len(req.Items) {
+			t.Fatalf("round trip: %+v -> %+v", req, got)
+		}
+		for i := range req.Keys {
+			if got.Keys[i] != req.Keys[i] {
+				t.Fatalf("key %d: %v != %v", i, got.Keys[i], req.Keys[i])
+			}
+		}
+		for i := range req.Items {
+			if got.Items[i] != req.Items[i] {
+				t.Fatalf("item %d: %+v != %+v", i, got.Items[i], req.Items[i])
+			}
+		}
+	}
+}

@@ -10,12 +10,17 @@ import (
 	"strings"
 )
 
-// Client is the typed Go client of the irsd JSON protocol. It is safe for
+// Client is the typed Go client of the irsd protocol. It is safe for
 // concurrent use; the zero HTTPClient means http.DefaultClient.
 type Client struct {
 	base string
 	// HTTPClient overrides the transport (timeouts, connection pooling).
 	HTTPClient *http.Client
+	// Binary switches Sample/SampleAppend/InsertKeys/InsertItems to the
+	// compact binary frames (Content-Type application/x-irs-bin) with
+	// pooled encode/decode buffers; the remaining endpoints, and every
+	// error response, stay JSON — errors.Is works identically either way.
+	Binary bool
 }
 
 // NewClient returns a client for the daemon at base, e.g.
@@ -42,16 +47,42 @@ func (e *APIError) Unwrap() error { return codeToErr[e.Code] }
 // Sample requests t independent samples from [lo, hi] of dataset (empty
 // selects the daemon's sole dataset).
 func (c *Client) Sample(ctx context.Context, dataset string, lo, hi float64, t int) ([]float64, error) {
-	var resp SampleResponse
-	err := c.post(ctx, "/sample", SampleRequest{Dataset: dataset, Lo: lo, Hi: hi, T: t}, &resp)
-	if err != nil {
-		return nil, err
+	return c.SampleAppend(ctx, dataset, nil, lo, hi, t)
+}
+
+// SampleAppend is Sample appending into dst, so callers issuing many
+// requests can reuse one result buffer. On error dst is returned
+// unchanged.
+func (c *Client) SampleAppend(ctx context.Context, dataset string, dst []float64, lo, hi float64, t int) ([]float64, error) {
+	if c.Binary {
+		buf := getBuf()
+		defer putBuf(buf)
+		frame, err := encodeSampleRequest((*buf)[:0], binSampleReq{Dataset: dataset, Lo: lo, Hi: hi, T: t})
+		if err != nil {
+			return dst, err
+		}
+		*buf = frame
+		body, err := c.postFrame(ctx, "/sample", frame, buf)
+		if err != nil {
+			return dst, err
+		}
+		return decodeSampleResponse(body, dst)
 	}
-	return resp.Samples, nil
+	var resp SampleResponse
+	if err := c.post(ctx, "/sample", SampleRequest{Dataset: dataset, Lo: lo, Hi: hi, T: t}, &resp); err != nil {
+		return dst, err
+	}
+	if dst == nil {
+		return resp.Samples, nil // plain Sample: hand over the decoded slice
+	}
+	return append(dst, resp.Samples...), nil
 }
 
 // InsertKeys stores keys with unit weight, returning how many were stored.
 func (c *Client) InsertKeys(ctx context.Context, dataset string, keys []float64) (int, error) {
+	if c.Binary {
+		return c.insertBinary(ctx, binInsertReq{Dataset: dataset, Keys: keys})
+	}
 	var resp InsertResponse
 	err := c.post(ctx, "/insert", InsertRequest{Dataset: dataset, Keys: keys}, &resp)
 	return resp.Inserted, err
@@ -59,9 +90,27 @@ func (c *Client) InsertKeys(ctx context.Context, dataset string, keys []float64)
 
 // InsertItems stores weighted items, returning how many were stored.
 func (c *Client) InsertItems(ctx context.Context, dataset string, items []Item) (int, error) {
+	if c.Binary {
+		return c.insertBinary(ctx, binInsertReq{Dataset: dataset, Items: items})
+	}
 	var resp InsertResponse
 	err := c.post(ctx, "/insert", InsertRequest{Dataset: dataset, Items: items}, &resp)
 	return resp.Inserted, err
+}
+
+func (c *Client) insertBinary(ctx context.Context, req binInsertReq) (int, error) {
+	buf := getBuf()
+	defer putBuf(buf)
+	frame, err := encodeInsertRequest((*buf)[:0], req)
+	if err != nil {
+		return 0, err
+	}
+	*buf = frame
+	body, err := c.postFrame(ctx, "/insert", frame, buf)
+	if err != nil {
+		return 0, err
+	}
+	return decodeInsertResponse(body)
 }
 
 // Delete removes one occurrence of each key, returning how many were
@@ -129,11 +178,50 @@ func (c *Client) do(req *http.Request, out any) error {
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode/100 != 2 {
-		var envelope ErrorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
-			return &APIError{Code: "internal", Message: "undecodable error body", Status: resp.StatusCode}
-		}
-		return &APIError{Code: envelope.Error.Code, Message: envelope.Error.Message, Status: resp.StatusCode}
+		return decodeAPIError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError reads a non-2xx response's JSON error envelope — the
+// error shape is JSON on both encodings.
+func decodeAPIError(resp *http.Response) error {
+	var envelope ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
+		return &APIError{Code: "internal", Message: "undecodable error body", Status: resp.StatusCode}
+	}
+	return &APIError{Code: envelope.Error.Code, Message: envelope.Error.Message, Status: resp.StatusCode}
+}
+
+// postFrame POSTs one binary request frame and reads the binary response
+// body back into the caller's pooled buffer. The request frame may share
+// that buffer: the transport has fully consumed the body by the time the
+// response is read into it.
+func (c *Client) postFrame(ctx context.Context, path string, frame []byte, buf *[]byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeAPIError(resp)
+	}
+	b, err := readAllInto(resp.Body, (*buf)[:0])
+	*buf = b
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
 }

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzBinaryFrame pins the binary frame decoders' one hard obligation: a
+// malformed frame — truncated, hostile counts, trailing bytes, any byte
+// soup — must produce an error, never a panic or an oversized allocation.
+// Frames that do decode must re-encode to the identical bytes (the format
+// has exactly one encoding per value), which also exercises the encoders.
+func FuzzBinaryFrame(f *testing.F) {
+	okSample, err := encodeSampleRequest(nil, binSampleReq{Dataset: "events", Lo: 1, Hi: 2, T: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	okInsert, err := encodeInsertRequest(nil, binInsertReq{
+		Dataset: "w", Keys: []float64{1, 2}, Items: []Item{{Key: 3, Weight: 4}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(okSample)
+	f.Add(okInsert)
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x02, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := decodeSampleRequest(data); err == nil {
+			re, err := encodeSampleRequest(nil, req)
+			if err != nil {
+				t.Fatalf("decoded sample frame fails to re-encode: %v", err)
+			}
+			if string(re) != string(data) {
+				t.Fatalf("sample frame not canonical: %x -> %+v -> %x", data, req, re)
+			}
+		}
+		if req, err := decodeInsertRequest(data, nil, nil); err == nil {
+			re, err := encodeInsertRequest(nil, req)
+			if err != nil {
+				t.Fatalf("decoded insert frame fails to re-encode: %v", err)
+			}
+			if string(re) != string(data) {
+				t.Fatalf("insert frame not canonical: %x -> %+v -> %x", data, req, re)
+			}
+		}
+		// Responses: decode must never panic; no canonical-form check (any
+		// count/payload mismatch is an error by construction).
+		_, _ = decodeSampleResponse(data, nil)
+		_, _ = decodeInsertResponse(data)
+	})
+}

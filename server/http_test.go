@@ -198,7 +198,11 @@ func TestHTTPQueueFullBackpressure(t *testing.T) {
 	// One wave of concurrent heavy requests; repeated (bounded) because
 	// arrival simultaneity over real HTTP is probabilistic — the pipeline
 	// holds at most ~8 requests, so a wave of 24 overflows it unless the
-	// scheduler spreads arrivals across whole flush durations.
+	// scheduler spreads arrivals across whole flush durations. t is large
+	// enough that one flush comfortably exceeds the runtime's ~10ms async
+	// preemption quantum: on GOMAXPROCS=1 hosts a shorter flush runs to
+	// completion unpreempted and the queue drains before a third submitter
+	// ever runs, so overload would never trigger.
 	wave := func() (served, rejected int) {
 		const clients = 24
 		var wg sync.WaitGroup
@@ -209,7 +213,7 @@ func TestHTTPQueueFullBackpressure(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				<-start
-				_, err := cl.Sample(ctx, "u", 0, 49_999, 200_000)
+				_, err := cl.Sample(ctx, "u", 0, 49_999, 600_000)
 				mu.Lock()
 				defer mu.Unlock()
 				switch {

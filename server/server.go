@@ -26,12 +26,21 @@
 // the IRS contract — per-sample uniformity and independence across
 // coalesced requests — verified through the full HTTP stack by this
 // package's chi-square and independence suites.
+//
+// The two hot endpoints, /sample and /insert, additionally speak a compact
+// binary format negotiated per request via Content-Type:
+// application/x-irs-bin (see binary.go for the frame layout); the typed
+// client opts in with Client.Binary. Both encodings return bit-identical
+// sample streams for a fixed daemon seed and request sequence, and errors
+// keep the JSON envelope either way.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"strings"
 
 	irs "github.com/irsgo/irs"
 	srv "github.com/irsgo/irs/internal/server"
@@ -142,7 +151,119 @@ func (s *Server) resolveName(name string) (string, error) {
 	return s.core.Resolve("")
 }
 
+// isBinary reports whether the request negotiated the binary frames.
+func isBinary(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == ContentTypeBinary || strings.HasPrefix(ct, ContentTypeBinary+";")
+}
+
+// readFrame reads the whole (bounded) body into the pooled buffer,
+// answering the error itself on wrong method or unreadable body.
+func readFrame(w http.ResponseWriter, r *http.Request, buf *[]byte) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return nil, false
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	b := *buf
+	if n := r.ContentLength; n > 0 && n <= maxBodyBytes && int64(cap(b)) < n {
+		b = make([]byte, 0, n)
+	}
+	b, err := readAllInto(body, b)
+	*buf = b
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
+		return nil, false
+	}
+	return b, true
+}
+
+// writeFrame sends a binary response frame.
+func writeFrame(w http.ResponseWriter, frame []byte) {
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frame)
+}
+
+// handleSampleBinary is the hot-path form of /sample: pooled body buffer,
+// pooled float64 result buffer appended to by the zero-alloc core, and the
+// response frame encoded over the request's own (already decoded) buffer.
+func (s *Server) handleSampleBinary(w http.ResponseWriter, r *http.Request) {
+	buf := getBuf()
+	defer putBuf(buf)
+	body, ok := readFrame(w, r, buf)
+	if !ok {
+		return
+	}
+	req, err := decodeSampleRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	dst := getF64()
+	defer putF64(dst)
+	samples, err := s.core.SampleAppend(req.Dataset, (*dst)[:0], req.Lo, req.Hi, req.T)
+	*dst = samples[:0] // keep any growth for the next request
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	// The request frame is fully decoded, so its buffer doubles as the
+	// response frame; the (usually larger) grown buffer stays pooled.
+	frame := encodeSampleResponse(body[:0], samples)
+	*buf = frame[:0]
+	writeFrame(w, frame)
+}
+
+// handleInsertBinary is the binary form of /insert: pooled buffers for the
+// body, the decoded keys/items, and the response frame.
+func (s *Server) handleInsertBinary(w http.ResponseWriter, r *http.Request) {
+	buf := getBuf()
+	defer putBuf(buf)
+	body, ok := readFrame(w, r, buf)
+	if !ok {
+		return
+	}
+	keys, items := getF64(), getItems()
+	defer putF64(keys)
+	defer putItems(items)
+	req, err := decodeInsertRequest(body, (*keys)[:0], (*items)[:0])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	*keys, *items = req.Keys[:0], req.Items[:0]
+	all := req.Items
+	if len(req.Keys) > 0 {
+		// Keys apply before items — the JSON handler's order — so a mixed
+		// frame inserts identically over both encodings. Built in a second
+		// pooled buffer (req.Items aliases the first).
+		combined := getItems()
+		defer putItems(combined)
+		buf := (*combined)[:0]
+		for _, k := range req.Keys {
+			buf = append(buf, Item{Key: k, Weight: 1})
+		}
+		buf = append(buf, req.Items...)
+		*combined = buf[:0]
+		all = buf
+	}
+	n, err := s.core.Insert(req.Dataset, all)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	frame := encodeInsertResponse(body[:0], n)
+	*buf = frame[:0]
+	writeFrame(w, frame)
+}
+
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	if isBinary(r) {
+		s.handleSampleBinary(w, r)
+		return
+	}
 	var req SampleRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -161,6 +282,10 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if isBinary(r) {
+		s.handleInsertBinary(w, r)
+		return
+	}
 	var req InsertRequest
 	if !readJSON(w, r, &req) {
 		return

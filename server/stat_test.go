@@ -69,18 +69,33 @@ func TestHTTPCoalescingFewerBackendCalls(t *testing.T) {
 	}
 }
 
+// eachEncoding runs the statistical suite body once over the JSON wire
+// format and once over the binary frames: the IRS contract — uniformity,
+// weight-proportionality, independence — must hold identically over both
+// encodings, not just the one the client happens to speak.
+func eachEncoding(t *testing.T, run func(t *testing.T, binary bool)) {
+	t.Run("json", func(t *testing.T) { run(t, false) })
+	t.Run("binary", func(t *testing.T) { run(t, true) })
+}
+
 // TestHTTPUniformityChiSquare: per-sample uniformity must survive the full
-// stack — JSON, coalescing into shared SampleMany batches, concurrent
+// stack — wire codec, coalescing into shared SampleMany batches, concurrent
 // flushers — not just the in-process sampler. 200 distinct keys, 20k
-// samples drawn by 20 concurrent clients, chi-square against uniform.
+// samples drawn by 20 concurrent clients, chi-square against uniform, over
+// both encodings.
 func TestHTTPUniformityChiSquare(t *testing.T) {
 	if testing.Short() {
 		t.Skip("statistical suite skipped with -short")
 	}
+	eachEncoding(t, testHTTPUniformityChiSquare)
+}
+
+func testHTTPUniformityChiSquare(t *testing.T, binary bool) {
 	_, cl, _, stop := newTestDaemon(t, server.Config{
 		CoalesceWindow: 500 * time.Microsecond,
 	}, 200)
 	defer stop()
+	cl.Binary = binary
 	ctx := context.Background()
 
 	const clients, reqs, tPer = 20, 100, 10
@@ -129,15 +144,20 @@ func TestHTTPUniformityChiSquare(t *testing.T) {
 
 // TestHTTPWeightedProportionalChiSquare: the weighted dataset's samples
 // through the full stack must be weight-proportional (weight k+1 on key
-// k), and zero-weight keys must never appear.
+// k), and zero-weight keys must never appear — over both encodings.
 func TestHTTPWeightedProportionalChiSquare(t *testing.T) {
 	if testing.Short() {
 		t.Skip("statistical suite skipped with -short")
 	}
+	eachEncoding(t, testHTTPWeightedProportionalChiSquare)
+}
+
+func testHTTPWeightedProportionalChiSquare(t *testing.T, binary bool) {
 	_, cl, _, stop := newTestDaemon(t, server.Config{
 		CoalesceWindow: 500 * time.Microsecond,
 	}, 100)
 	defer stop()
+	cl.Binary = binary
 	ctx := context.Background()
 
 	// Add a zero-weight key; it must never be sampled.
@@ -202,16 +222,22 @@ func TestHTTPWeightedProportionalChiSquare(t *testing.T) {
 // simultaneous t=1 requests over 10 keys are drawn with a linger window
 // wide enough that paired requests land in one batch; the joint
 // distribution over the 10x10 outcome grid must be uniform (chi-square),
-// which fails if batch-mates are correlated in any direction.
+// which fails if batch-mates are correlated in any direction. Run over
+// both encodings.
 func TestHTTPIndependenceAcrossCoalescedRequests(t *testing.T) {
 	if testing.Short() {
 		t.Skip("statistical suite skipped with -short")
 	}
+	eachEncoding(t, testHTTPIndependenceAcrossCoalescedRequests)
+}
+
+func testHTTPIndependenceAcrossCoalescedRequests(t *testing.T, binary bool) {
 	_, cl, _, stop := newTestDaemon(t, server.Config{
 		CoalesceWindow: time.Millisecond,
 		MaxBatch:       8,
 	}, 10)
 	defer stop()
+	cl.Binary = binary
 	ctx := context.Background()
 
 	const workers, rounds = 16, 250
