@@ -27,9 +27,15 @@
 // a torn final record truncated. Exactly one irsd may own a data
 // directory at a time.
 //
+// With -tcp-addr set, the daemon additionally serves the persistent
+// multiplexed binary transport (package server/irsnet) on that address:
+// long-lived TCP connections carrying the binary sample/insert frames
+// with pipelined request IDs — the kernel-close transport for hot-path
+// clients. The chosen address is printed as "irsd: tcp on ...".
+//
 // With -addr ending in :0 the kernel picks a free port; the chosen address
 // is printed as "irsd: serving on http://..." so wrappers can scrape it.
-// SIGINT/SIGTERM trigger a graceful stop: the listener closes, in-flight
+// SIGINT/SIGTERM trigger a graceful stop: both listeners close, in-flight
 // and queued requests are answered, WALs are synced, then the process
 // exits 0.
 package main
@@ -52,6 +58,7 @@ import (
 
 	irs "github.com/irsgo/irs"
 	"github.com/irsgo/irs/server"
+	"github.com/irsgo/irs/server/irsnet"
 )
 
 func main() { os.Exit(run()) }
@@ -59,6 +66,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		tcpAddr  = flag.String("tcp-addr", "", "persistent binary TCP listen address (empty disables; port 0 picks a free port)")
 		datasets = flag.String("datasets", "demo", "comma-separated name[:weighted|:unweighted] specs")
 		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "target shard count per dataset")
 		seed     = flag.Uint64("seed", 1, "seed anchoring each dataset's sampling streams")
@@ -67,6 +75,9 @@ func run() int {
 		maxBatch = flag.Int("max-batch", 0, "max coalesced requests per backend call (0 = default)")
 		window   = flag.Duration("coalesce-window", 100*time.Microsecond, "linger time for batch-mates (0 = opportunistic only)")
 		flushers = flag.Int("flushers", 0, "parallel backend calls per dataset and path (0 = GOMAXPROCS)")
+
+		readHdrTimeout = flag.Duration("read-header-timeout", 5*time.Second, "HTTP header read deadline per request (guards against slowloris connections)")
+		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle connection deadline")
 
 		dataDir   = flag.String("data-dir", "", "durability root: one WAL+snapshot directory per dataset (empty = memory-only)")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval, or none")
@@ -79,7 +90,7 @@ func run() int {
 	// a durability knob that silently does nothing is worse than an error.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if err := validateFlags(explicit, *dataDir, *fsync); err != nil {
+	if err := validateFlags(explicit, *dataDir, *fsync, *readHdrTimeout, *idleTimeout); err != nil {
 		log.Printf("irsd: %v", err)
 		return 2
 	}
@@ -142,35 +153,94 @@ func run() int {
 		}
 		return 1
 	}
+	// The TCP listener binds before serving starts on either transport, so
+	// a bad -tcp-addr fails boot instead of surfacing mid-flight.
+	var tln net.Listener
+	if *tcpAddr != "" {
+		tln, err = net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			log.Printf("irsd: %v", err)
+			_ = ln.Close()
+			close(snapStop)
+			<-snapDone
+			if cerr := s.Close(); cerr != nil {
+				log.Printf("irsd: close: %v", cerr)
+			}
+			return 1
+		}
+		// The tcp line prints before the serving line so scripts waiting
+		// for "serving on" can scrape both addresses in one pass.
+		fmt.Printf("irsd: tcp on %s\n", tln.Addr())
+	}
 	// Printed (not just logged) so scripts can scrape the resolved address
 	// when -addr asked for a kernel-assigned port.
 	fmt.Printf("irsd: serving on http://%s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: s}
+	// The zero-valued http.Server has no deadlines at all: one client
+	// trickling header bytes holds a connection (and its goroutine) forever.
+	httpSrv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: *readHdrTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
+
+	var tcpSrv *irsnet.Server
+	var tcpDone chan error // nil (never selected) when -tcp-addr is unset
+	if tln != nil {
+		tcpSrv = irsnet.NewServer(s)
+		tcpDone = make(chan error, 1)
+		go func() { tcpDone <- tcpSrv.Serve(tln) }()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	exit := 0
-	var serveErr error
-	select {
-	case <-ctx.Done():
-		log.Printf("irsd: signal received, draining")
+	var serveErr, tcpErr error
+	// shutdownBoth drains both transports: listeners close, requests
+	// already read are answered and written, then the connections close.
+	// Safe to call after either Serve has already returned.
+	shutdownBoth := func() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("irsd: http shutdown: %v", err)
 		}
-		cancel()
+		if tcpSrv != nil {
+			if err := tcpSrv.Shutdown(shutCtx); err != nil {
+				log.Printf("irsd: tcp shutdown: %v", err)
+			}
+		}
+	}
+	select {
+	case <-ctx.Done():
+		log.Printf("irsd: signal received, draining")
+		shutdownBoth()
 		serveErr = <-done
+		if tcpDone != nil {
+			tcpErr = <-tcpDone
+		}
 	case serveErr = <-done:
-		// Serve failed on its own (listener torn down, accept error):
+		// HTTP serve failed on its own (listener torn down, accept error):
 		// exactly the case that used to log.Fatalf past the drain below and
-		// lose the last fsync interval's WAL records. Fall through to the
-		// same drain/close sequence a signal takes.
+		// lose the last fsync interval's WAL records. Drain the other
+		// transport and fall through to the same close sequence.
+		shutdownBoth()
+		if tcpDone != nil {
+			tcpErr = <-tcpDone
+		}
+	case tcpErr = <-tcpDone:
+		// TCP accept failed; mirror the HTTP failure path.
+		shutdownBoth()
+		serveErr = <-done
 	}
 	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		log.Printf("irsd: serve: %v", serveErr)
+		exit = 1
+	}
+	if tcpErr != nil {
+		log.Printf("irsd: tcp serve: %v", tcpErr)
 		exit = 1
 	}
 	close(snapStop)
@@ -188,11 +258,18 @@ func run() int {
 }
 
 // validateFlags rejects flag combinations irsd used to ignore silently:
-// durability knobs given without -data-dir, and a background fsync period
-// given under a policy that never uses it. explicit holds the flag names
-// the user actually set on the command line (flag.Visit), so defaults
-// never trip the validation.
-func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string) error {
+// durability knobs given without -data-dir, a background fsync period
+// given under a policy that never uses it, and HTTP timeouts that would
+// re-open the unbounded-connection hole the defaults exist to close.
+// explicit holds the flag names the user actually set on the command line
+// (flag.Visit), so defaults never trip the validation.
+func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHeaderTimeout, idleTimeout time.Duration) error {
+	if readHeaderTimeout <= 0 {
+		return errors.New("-read-header-timeout must be positive (a zero http.Server timeout means no limit: any client trickling header bytes pins a connection forever)")
+	}
+	if idleTimeout <= 0 {
+		return errors.New("-idle-timeout must be positive (a zero http.Server timeout means no limit: idle keep-alive connections accumulate forever)")
+	}
 	if dataDir == "" {
 		for _, name := range []string{"fsync", "fsync-interval", "snapshot-every"} {
 			if explicit[name] {

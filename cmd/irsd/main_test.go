@@ -1,10 +1,14 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestValidateFlags pins the flag-combination validation: durability knobs
-// without -data-dir, and -fsync-interval under a non-interval policy, used
-// to be silently ignored — they must now fail fast at boot.
+// without -data-dir, -fsync-interval under a non-interval policy, and
+// non-positive HTTP timeouts (a zero http.Server timeout means "no limit")
+// used to be silently ignored — they must now fail fast at boot.
 func TestValidateFlags(t *testing.T) {
 	set := func(names ...string) map[string]bool {
 		m := make(map[string]bool, len(names))
@@ -13,26 +17,33 @@ func TestValidateFlags(t *testing.T) {
 		}
 		return m
 	}
+	const okTimeout = 5 * time.Second
 	cases := []struct {
-		name     string
-		explicit map[string]bool
-		dataDir  string
-		fsync    string
-		wantErr  bool
+		name      string
+		explicit  map[string]bool
+		dataDir   string
+		fsync     string
+		readHdrTO time.Duration
+		idleTO    time.Duration
+		wantErr   bool
 	}{
-		{"defaults, memory-only", set(), "", "always", false},
-		{"defaults, durable", set("data-dir"), "/tmp/x", "always", false},
-		{"fsync without data-dir", set("fsync"), "", "none", true},
-		{"fsync-interval without data-dir", set("fsync-interval"), "", "always", true},
-		{"snapshot-every without data-dir", set("snapshot-every"), "", "always", true},
-		{"fsync-interval under -fsync always", set("data-dir", "fsync-interval"), "/tmp/x", "always", true},
-		{"fsync-interval under -fsync none", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "none", true},
-		{"fsync-interval under -fsync interval", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "interval", false},
-		{"fsync interval without explicit interval flag", set("data-dir", "fsync"), "/tmp/x", "interval", false},
-		{"snapshot-every with data-dir", set("data-dir", "snapshot-every"), "/tmp/x", "always", false},
+		{"defaults, memory-only", set(), "", "always", okTimeout, okTimeout, false},
+		{"defaults, durable", set("data-dir"), "/tmp/x", "always", okTimeout, okTimeout, false},
+		{"fsync without data-dir", set("fsync"), "", "none", okTimeout, okTimeout, true},
+		{"fsync-interval without data-dir", set("fsync-interval"), "", "always", okTimeout, okTimeout, true},
+		{"snapshot-every without data-dir", set("snapshot-every"), "", "always", okTimeout, okTimeout, true},
+		{"fsync-interval under -fsync always", set("data-dir", "fsync-interval"), "/tmp/x", "always", okTimeout, okTimeout, true},
+		{"fsync-interval under -fsync none", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "none", okTimeout, okTimeout, true},
+		{"fsync-interval under -fsync interval", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "interval", okTimeout, okTimeout, false},
+		{"fsync interval without explicit interval flag", set("data-dir", "fsync"), "/tmp/x", "interval", okTimeout, okTimeout, false},
+		{"snapshot-every with data-dir", set("data-dir", "snapshot-every"), "/tmp/x", "always", okTimeout, okTimeout, false},
+		{"zero read-header-timeout", set(), "", "always", 0, okTimeout, true},
+		{"negative read-header-timeout", set(), "", "always", -time.Second, okTimeout, true},
+		{"zero idle-timeout", set(), "", "always", okTimeout, 0, true},
+		{"negative idle-timeout", set(), "", "always", okTimeout, -time.Minute, true},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.explicit, tc.dataDir, tc.fsync)
+		err := validateFlags(tc.explicit, tc.dataDir, tc.fsync, tc.readHdrTO, tc.idleTO)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
 		}

@@ -1,15 +1,16 @@
 // Command irsload is the irsd load harness: it drives a live daemon's
-// /sample path over the JSON and binary encodings and reports end-to-end
-// serving throughput, latency percentiles, and client-side allocation
-// rates — the serving-layer perf trajectory BENCH_serving.json archives
-// per commit.
+// sample path over the JSON, binary-HTTP, and persistent-TCP (irsnet)
+// encodings and reports end-to-end serving throughput, latency
+// percentiles, and client-side allocation rates — the serving-layer perf
+// trajectory BENCH_serving.json archives per commit.
 //
 // Usage:
 //
-//	irsd -addr 127.0.0.1:0 -datasets demo -preload 100000 &
+//	irsd -addr 127.0.0.1:0 -tcp-addr 127.0.0.1:0 -datasets demo -preload 100000 &
 //	irsload -addr http://127.0.0.1:<port> -concurrency 64 -t 256 -duration 3s
 //	irsload -addr ... -encoding binary -mode open -rate 20000
-//	irsload -addr ... -encoding both -json BENCH_serving.json
+//	irsload -addr ... -encoding tcp -tcp-addr 127.0.0.1:<tcp-port>
+//	irsload -addr ... -tcp-addr ... -encoding all -json BENCH_serving.json
 //
 // Two load models:
 //
@@ -21,10 +22,11 @@
 //     queueing under an offered load the server does not control — the
 //     model for measuring behavior at a target traffic level.
 //
-// With -encoding both the same phase runs once per encoding and the JSON
-// document carries a binary-over-JSON throughput ratio, the headline the
-// binary wire format exists for. Overloaded (503) responses count as
-// rejected, not errors: backpressure is a correct answer under load.
+// With -encoding both (json + binary) or all (json + binary + tcp) the
+// same phase runs once per encoding and the JSON document carries
+// cross-encoding throughput ratios, the headlines each wire format exists
+// for. Overloaded (503) responses count as rejected, not errors:
+// backpressure is a correct answer under load.
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -41,7 +44,16 @@ import (
 	"time"
 
 	"github.com/irsgo/irs/server"
+	"github.com/irsgo/irs/server/irsnet"
 )
+
+// sampleClient is the request surface a load phase drives. *server.Client
+// (json and binary over HTTP) and *irsnet.Client (persistent TCP)
+// implement it identically, so every encoding runs the same loops.
+type sampleClient interface {
+	Sample(ctx context.Context, dataset string, lo, hi float64, t int) ([]float64, error)
+	SampleAppend(ctx context.Context, dataset string, dst []float64, lo, hi float64, t int) ([]float64, error)
+}
 
 type latencySummary struct {
 	P50 float64 `json:"p50"`
@@ -52,7 +64,7 @@ type latencySummary struct {
 
 // encodingResult is one measured phase (one encoding, one load model).
 type encodingResult struct {
-	Encoding string `json:"encoding"` // "json" or "binary"
+	Encoding string `json:"encoding"` // "json", "binary", or "tcp"
 	Mode     string `json:"mode"`     // "closed" or "open"
 	Requests int    `json:"requests"`
 	Rejected int    `json:"rejected"` // 503 overloaded (backpressure)
@@ -72,6 +84,7 @@ type encodingResult struct {
 type benchDoc struct {
 	GeneratedAt time.Time        `json:"generated_at"`
 	Addr        string           `json:"addr"`
+	TCPAddr     string           `json:"tcp_addr,omitempty"`
 	Dataset     string           `json:"dataset,omitempty"`
 	Mode        string           `json:"mode"`
 	Concurrency int              `json:"concurrency"`
@@ -80,16 +93,19 @@ type benchDoc struct {
 	Lo          float64          `json:"lo"`
 	Hi          float64          `json:"hi"`
 	Results     []encodingResult `json:"results"`
-	// SpeedupBinaryOverJSON is binary throughput / JSON throughput when
-	// both encodings ran.
+	// SpeedupBinaryOverJSON is binary-HTTP throughput / JSON throughput
+	// when both encodings ran; SpeedupTCPOverBinary is persistent-TCP
+	// throughput / binary-HTTP throughput likewise.
 	SpeedupBinaryOverJSON float64 `json:"speedup_binary_over_json,omitempty"`
+	SpeedupTCPOverBinary  float64 `json:"speedup_tcp_over_binary,omitempty"`
 }
 
 func main() {
 	var (
 		addr     = flag.String("addr", "", "base URL of a running irsd (required), e.g. http://127.0.0.1:8080")
+		tcpAddr  = flag.String("tcp-addr", "", "host:port of the daemon's -tcp-addr listener (required for -encoding tcp or all)")
 		dataset  = flag.String("dataset", "", "dataset name (empty = the daemon's sole dataset)")
-		encoding = flag.String("encoding", "both", "wire encoding to drive: json, binary, or both")
+		encoding = flag.String("encoding", "both", "wire encoding to drive: json, binary, tcp, both (json+binary), or all")
 		mode     = flag.String("mode", "closed", "load model: closed (fixed concurrency) or open (fixed arrival rate)")
 		conc     = flag.Int("concurrency", 64, "closed-loop worker count (also bounds open-loop in-flight requests)")
 		rate     = flag.Float64("rate", 10_000, "open-loop arrival rate, requests/s")
@@ -115,10 +131,19 @@ func main() {
 		encodings = []string{"json"}
 	case "binary":
 		encodings = []string{"binary"}
+	case "tcp":
+		encodings = []string{"tcp"}
 	case "both":
 		encodings = []string{"json", "binary"}
+	case "all":
+		encodings = []string{"json", "binary", "tcp"}
 	default:
-		log.Fatalf("irsload: unknown -encoding %q (want json, binary, or both)", *encoding)
+		log.Fatalf("irsload: unknown -encoding %q (want json, binary, tcp, both, or all)", *encoding)
+	}
+	for _, enc := range encodings {
+		if enc == "tcp" && *tcpAddr == "" {
+			log.Fatalf("irsload: -encoding %s needs -tcp-addr (the daemon's persistent-TCP listener)", *encoding)
+		}
 	}
 
 	ctx := context.Background()
@@ -130,6 +155,7 @@ func main() {
 	doc := benchDoc{
 		GeneratedAt: time.Now().UTC(),
 		Addr:        *addr,
+		TCPAddr:     *tcpAddr,
 		Dataset:     *dataset,
 		Mode:        *mode,
 		Concurrency: *conc,
@@ -141,16 +167,25 @@ func main() {
 		doc.RatePerSec = *rate
 	}
 	for _, enc := range encodings {
-		cl := server.NewClient(*addr)
-		cl.Binary = enc == "binary"
+		var pcl sampleClient
+		switch enc {
+		case "tcp":
+			tcl := irsnet.NewClient(*tcpAddr, irsnet.Options{})
+			defer tcl.Close()
+			pcl = tcl
+		default:
+			hcl := server.NewClient(*addr)
+			hcl.Binary = enc == "binary"
+			pcl = hcl
+		}
 		fmt.Printf("irsload: %s over %s, %s warm-up + %s measured...\n", *mode, enc, *warmup, *duration)
 		var res encodingResult
 		if *mode == "closed" {
-			closedLoop(ctx, cl, *dataset, *lo, *hi, *tPer, *conc, *warmup) // warm-up, discarded
-			res = closedLoop(ctx, cl, *dataset, *lo, *hi, *tPer, *conc, *duration)
+			closedLoop(ctx, pcl, *dataset, *lo, *hi, *tPer, *conc, *warmup) // warm-up, discarded
+			res = closedLoop(ctx, pcl, *dataset, *lo, *hi, *tPer, *conc, *duration)
 		} else {
-			openLoop(ctx, cl, *dataset, *lo, *hi, *tPer, *conc, *rate, *warmup)
-			res = openLoop(ctx, cl, *dataset, *lo, *hi, *tPer, *conc, *rate, *duration)
+			openLoop(ctx, pcl, *dataset, *lo, *hi, *tPer, *conc, *rate, *warmup)
+			res = openLoop(ctx, pcl, *dataset, *lo, *hi, *tPer, *conc, *rate, *duration)
 		}
 		res.Encoding, res.Mode = enc, *mode
 		doc.Results = append(doc.Results, res)
@@ -159,9 +194,17 @@ func main() {
 		fmt.Printf("  latency p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus, %.1f client mallocs/op\n",
 			res.LatencyUS.P50, res.LatencyUS.P90, res.LatencyUS.P99, res.LatencyUS.Max, res.MallocsPerOp)
 	}
-	if len(doc.Results) == 2 && doc.Results[0].ThroughputRPS > 0 {
-		doc.SpeedupBinaryOverJSON = doc.Results[1].ThroughputRPS / doc.Results[0].ThroughputRPS
+	rps := make(map[string]float64, len(doc.Results))
+	for _, r := range doc.Results {
+		rps[r.Encoding] = r.ThroughputRPS
+	}
+	if rps["json"] > 0 && rps["binary"] > 0 {
+		doc.SpeedupBinaryOverJSON = rps["binary"] / rps["json"]
 		fmt.Printf("irsload: binary / JSON throughput = %.2fx\n", doc.SpeedupBinaryOverJSON)
+	}
+	if rps["binary"] > 0 && rps["tcp"] > 0 {
+		doc.SpeedupTCPOverBinary = rps["tcp"] / rps["binary"]
+		fmt.Printf("irsload: tcp / binary throughput = %.2fx\n", doc.SpeedupTCPOverBinary)
 	}
 	if *jsonPath != "" {
 		raw, err := json.MarshalIndent(doc, "", "  ")
@@ -191,8 +234,15 @@ func ensurePopulated(ctx context.Context, cl *server.Client, dataset string, n i
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
+	if dataset == "" && len(st.Datasets) != 1 {
+		// Empty only ever means "the sole dataset". Against a multi-dataset
+		// daemon the old guard silently never matched, so every run
+		// re-preloaded an already-populated dataset.
+		return fmt.Errorf("-dataset is ambiguous: daemon serves %d datasets, name one", len(st.Datasets))
+	}
 	for _, d := range st.Datasets {
-		if (dataset == "" && len(st.Datasets) == 1 || d.Name == dataset) && d.Len > 0 {
+		matches := dataset == "" || d.Name == dataset
+		if matches && d.Len > 0 {
 			return nil
 		}
 	}
@@ -243,11 +293,21 @@ func (m *measure) note(lat time.Duration, got int, err error) {
 
 func (m *measure) result(elapsed time.Duration, mallocs uint64) encodingResult {
 	sort.Slice(m.lats, func(i, j int) bool { return m.lats[i] < m.lats[j] })
+	// Nearest-rank percentile: the smallest observation with at least p of
+	// the sample at or below it. The old int(p*(n-1)) truncated the rank
+	// downward, so p99 over 100 observations read the 98th-smallest.
 	pct := func(p float64) float64 {
-		if len(m.lats) == 0 {
+		n := len(m.lats)
+		if n == 0 {
 			return 0
 		}
-		i := int(p * float64(len(m.lats)-1))
+		i := int(math.Ceil(p*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
 		return float64(m.lats[i]) / float64(time.Microsecond)
 	}
 	res := encodingResult{
@@ -270,8 +330,10 @@ func (m *measure) result(elapsed time.Duration, mallocs uint64) encodingResult {
 }
 
 // closedLoop runs workers requesters back-to-back for dur and aggregates.
-func closedLoop(ctx context.Context, cl *server.Client, dataset string, lo, hi float64, t, workers int, dur time.Duration) encodingResult {
-	var m measure
+func closedLoop(ctx context.Context, cl sampleClient, dataset string, lo, hi float64, t, workers int, dur time.Duration) encodingResult {
+	// Pre-sized before the MemStats snapshot so m.lats growth (harness
+	// bookkeeping, not client work) stays out of MallocsPerOp.
+	m := measure{lats: make([]time.Duration, 0, 1<<20)}
 	deadline := time.Now().Add(dur)
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
@@ -300,11 +362,13 @@ func closedLoop(ctx context.Context, cl *server.Client, dataset string, lo, hi f
 // goroutine, with at most maxInflight outstanding (arrivals past that
 // bound are counted as dropped_by_generator — the load generator itself
 // saturated, which is not server backpressure).
-func openLoop(ctx context.Context, cl *server.Client, dataset string, lo, hi float64, t, maxInflight int, rate float64, dur time.Duration) encodingResult {
-	var m measure
+func openLoop(ctx context.Context, cl sampleClient, dataset string, lo, hi float64, t, maxInflight int, rate float64, dur time.Duration) encodingResult {
 	if rate <= 0 {
 		rate = 1
 	}
+	// Pre-sized to the offered load before the MemStats snapshot, keeping
+	// harness bookkeeping out of MallocsPerOp.
+	m := measure{lats: make([]time.Duration, 0, int(rate*dur.Seconds())+1024)}
 	interval := time.Duration(float64(time.Second) / rate)
 	if interval <= 0 {
 		interval = time.Nanosecond

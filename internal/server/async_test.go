@@ -1,0 +1,180 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// chanReply adapts a channel to Reply for tests.
+type chanReply[R any] struct {
+	ch chan result[R]
+}
+
+func (r *chanReply[R]) Deliver(v R, err error) { r.ch <- result[R]{v: v, err: err} }
+
+// TestAsyncSubmission covers the async contract end to end: accepted
+// requests deliver exactly once through Reply, synchronous failures
+// (validation, routing, admission) never touch the Reply, and close still
+// drains accepted async requests.
+func TestAsyncSubmission(t *testing.T) {
+	ds := &stubDataset{}
+	core := NewCore[int](Config{QueueDepth: 64, MaxBatch: 64, Flushers: 1})
+	if err := core.Add("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+
+	sr := &chanReply[[]int]{ch: make(chan result[[]int], 1)}
+	if err := core.SampleAppendAsync("d", nil, 5, 10, 3, sr); err != nil {
+		t.Fatal(err)
+	}
+	res := <-sr.ch
+	if res.err != nil || len(res.v) != 3 || res.v[0] != 5 {
+		t.Fatalf("async sample: %v, %v", res.v, res.err)
+	}
+
+	// dst must be appended to, not replaced.
+	dst := []int{-1}
+	if err := core.SampleAppendAsync("d", dst, 7, 9, 2, sr); err != nil {
+		t.Fatal(err)
+	}
+	res = <-sr.ch
+	if res.err != nil || len(res.v) != 3 || res.v[0] != -1 || res.v[1] != 7 {
+		t.Fatalf("async sample append: %v, %v", res.v, res.err)
+	}
+
+	ir := &chanReply[int]{ch: make(chan result[int], 1)}
+	if err := core.InsertAsync("d", []Item[int]{{Key: 1, Weight: 1}, {Key: 2, Weight: 1}}, ir); err != nil {
+		t.Fatal(err)
+	}
+	ires := <-ir.ch
+	if ires.err != nil || ires.v != 2 {
+		t.Fatalf("async insert: %v, %v", ires.v, ires.err)
+	}
+
+	// Empty inserts answer inline, before InsertAsync returns.
+	if err := core.InsertAsync("d", nil, ir); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ires = <-ir.ch:
+	default:
+		t.Fatal("empty insert not answered inline")
+	}
+	if ires.err != nil || ires.v != 0 {
+		t.Fatalf("empty async insert: %v, %v", ires.v, ires.err)
+	}
+
+	// Synchronous failures return the error and never invoke the Reply.
+	for _, tc := range []struct {
+		name string
+		err  error
+		call func() error
+	}{
+		{"invalid count", ErrInvalidCount, func() error { return core.SampleAppendAsync("d", nil, 0, 1, 0, sr) }},
+		{"inverted range", ErrInvalidRange, func() error { return core.SampleAppendAsync("d", nil, 2, 1, 1, sr) }},
+		{"unknown dataset", ErrUnknownDataset, func() error { return core.SampleAppendAsync("x", nil, 0, 1, 1, sr) }},
+		{"unknown insert", ErrUnknownDataset, func() error { return core.InsertAsync("x", []Item[int]{{Key: 1}}, ir) }},
+	} {
+		if err := tc.call(); !errors.Is(err, tc.err) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.err)
+		}
+	}
+	select {
+	case res := <-sr.ch:
+		t.Fatalf("sample reply invoked on synchronous failure: %+v", res)
+	case ires := <-ir.ch:
+		t.Fatalf("insert reply invoked on synchronous failure: %+v", ires)
+	default:
+	}
+}
+
+// TestAsyncDrainOnClose: async requests accepted before Close are
+// delivered (the coalescer drains), and submissions after Close fail
+// synchronously with ErrShuttingDown.
+func TestAsyncDrainOnClose(t *testing.T) {
+	const n = 16
+	ds := &stubDataset{sampleGate: make(chan struct{})}
+	core := NewCore[int](Config{QueueDepth: 64, MaxBatch: 4, Flushers: 1})
+	if err := core.Add("d", ds); err != nil {
+		t.Fatal(err)
+	}
+
+	sr := &chanReply[[]int]{ch: make(chan result[[]int], n)}
+	accepted := 0
+	for i := 0; i < n; i++ {
+		if err := core.SampleAppendAsync("d", nil, i, i+10, 2, sr); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		accepted++
+	}
+	waitFor(t, "a blocked flush", func() bool { s, _ := ds.calls(); return len(s) >= 1 })
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); core.Close() }()
+	waitFor(t, "shutdown flag", func() bool {
+		core.mu.RLock()
+		defer core.mu.RUnlock()
+		return core.closed
+	})
+	if err := core.SampleAppendAsync("d", nil, 0, 1, 1, sr); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-close submit err = %v, want ErrShuttingDown", err)
+	}
+
+	close(ds.sampleGate)
+	wg.Wait()
+	for i := 0; i < accepted; i++ {
+		res := <-sr.ch
+		if res.err != nil || len(res.v) != 2 {
+			t.Fatalf("drained async request %d: %v, %v", i, res.v, res.err)
+		}
+	}
+}
+
+// TestAsyncOverload: a wedged pipeline rejects async submissions
+// synchronously with ErrOverloaded, without consuming the Reply.
+func TestAsyncOverload(t *testing.T) {
+	ds := &stubDataset{sampleGate: make(chan struct{})}
+	core := NewCore[int](Config{QueueDepth: 2, MaxBatch: 1, Flushers: 1})
+	if err := core.Add("d", ds); err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	st := core.byName["d"]
+
+	sr := &chanReply[[]int]{ch: make(chan result[[]int], 8)}
+	submitted := 0
+	// Fill flusher + batch buffer + gatherer hand + queue (see
+	// TestQueueFullBackpressure for the deterministic staging).
+	for i := 0; i < 5; i++ {
+		if err := core.SampleAppendAsync("d", nil, 0, 10, 1, sr); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		submitted++
+		switch i {
+		case 0:
+			waitFor(t, "first backend call", func() bool { s, _ := ds.calls(); return len(s) == 1 })
+		case 1:
+			waitFor(t, "batch buffered", func() bool { return len(st.samples.batches) == 1 })
+		case 2:
+			waitFor(t, "gatherer hand", func() bool { return len(st.samples.reqs) == 0 })
+		}
+	}
+	waitFor(t, "queue full", func() bool { return len(st.samples.reqs) == 2 })
+	if err := core.SampleAppendAsync("d", nil, 0, 10, 1, sr); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+
+	close(ds.sampleGate)
+	for i := 0; i < submitted; i++ {
+		if res := <-sr.ch; res.err != nil {
+			t.Fatalf("accepted async request failed: %v", res.err)
+		}
+	}
+	s := core.Stats().Datasets[0]
+	if s.SampleRequests != uint64(submitted)+1 || s.SampleRejected != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}

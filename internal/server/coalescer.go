@@ -5,14 +5,37 @@ import (
 	"time"
 )
 
-// request is one caller waiting inside a coalescer: a payload plus a
-// 1-buffered reply channel its flush writes exactly one result into. The
-// reply channel is pooled: every accepted request is answered exactly once,
-// so after the submitter has received, the channel is empty and safe to
-// hand to the next submitter.
+// Reply receives one asynchronous answer from a coalescer. Implementations
+// are typically pooled pointer-structs (a pointer already on the heap boxes
+// into the interface without allocating), which is what keeps the async
+// path — used by the persistent TCP transport, whose reader goroutine must
+// not block on a flush — as allocation-free as the blocking one.
+type Reply[R any] interface {
+	// Deliver is called exactly once per accepted request, from a flusher
+	// goroutine. It must not block for long: it runs inside the flush loop
+	// that answers every other request in the batch.
+	Deliver(v R, err error)
+}
+
+// request is one caller waiting inside a coalescer: a payload plus exactly
+// one answer path — a 1-buffered reply channel its flush writes one result
+// into (blocking submit), or a Reply callback (submitAsync). The reply
+// channel is pooled: every accepted request is answered exactly once, so
+// after the submitter has received, the channel is empty and safe to hand
+// to the next submitter.
 type request[Q, R any] struct {
-	q   Q
-	out chan result[R]
+	q    Q
+	out  chan result[R] // blocking submitters
+	done Reply[R]       // async submitters; nil when out is set
+}
+
+// reply answers the request on whichever path it carries.
+func (r *request[Q, R]) reply(res result[R]) {
+	if r.done != nil {
+		r.done.Deliver(res.v, res.err)
+		return
+	}
+	r.out <- res
 }
 
 type result[R any] struct {
@@ -137,6 +160,28 @@ func (c *coalescer[Q, R]) submit(q Q) (R, error) {
 	res := <-out
 	c.outPool.Put(out)
 	return res.v, res.err
+}
+
+// submitAsync enqueues q without blocking for the flush. Admission follows
+// the same contract as submit — a full queue answers ErrOverloaded, a
+// closed coalescer ErrShuttingDown, both returned synchronously — and on a
+// nil return, done.Deliver is invoked exactly once from a flusher
+// goroutine (close still drains, so acceptance guarantees an answer).
+func (c *coalescer[Q, R]) submitAsync(q Q, done Reply[R]) error {
+	r := request[Q, R]{q: q, done: done}
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return ErrShuttingDown
+	}
+	select {
+	case c.reqs <- r:
+		c.mu.RUnlock()
+		return nil
+	default:
+		c.mu.RUnlock()
+		return ErrOverloaded
+	}
 }
 
 // close stops admission, waits until every accepted request has been

@@ -274,6 +274,33 @@ func (c *Core[K]) SampleAppend(name string, dst []K, lo, hi K, t int) ([]K, erro
 	return out, nil
 }
 
+// SampleAppendAsync is SampleAppend without the blocking wait: the request
+// joins the same coalescer queue, and its samples (appended to dst) or its
+// error arrive through done.Deliver from a flusher goroutine. Validation,
+// routing, and admission errors are returned synchronously, in which case
+// done is never invoked; on a nil return done.Deliver runs exactly once.
+// This is the submission path for transports that multiplex many requests
+// over one connection — the connection's reader goroutine must not park on
+// a flush, or one slow batch would stall every pipelined request behind it.
+func (c *Core[K]) SampleAppendAsync(name string, dst []K, lo, hi K, t int, done Reply[[]K]) error {
+	if t <= 0 {
+		return ErrInvalidCount
+	}
+	if hi < lo {
+		return ErrInvalidRange
+	}
+	st, err := c.lookup(name)
+	if err != nil {
+		return err
+	}
+	st.counters.sampleRequests.Add(1)
+	err = st.samples.submitAsync(sampleArg[K]{q: shard.Query[K]{Lo: lo, Hi: hi, T: t}, dst: dst}, done)
+	if errors.Is(err, ErrOverloaded) {
+		st.counters.sampleRejected.Add(1)
+	}
+	return err
+}
+
 // maxRetainedScratch bounds the element capacity a flusher keeps between
 // flushes: scratch grown past it by one outsized batch is dropped after
 // use rather than pinning high-water memory for the server's lifetime.
@@ -313,15 +340,15 @@ func (f *sampleFlusher[K]) flush(batch []request[sampleArg[K], []K]) {
 	for i, r := range batch {
 		switch {
 		case err != nil:
-			r.out <- result[[]K]{err: err}
+			r.reply(result[[]K]{err: err})
 		case starts[i+1] == starts[i]:
 			// T was validated positive, so an empty segment means the range
 			// had no sampling mass at flush time.
-			r.out <- result[[]K]{err: ErrEmptyRange}
+			r.reply(result[[]K]{err: ErrEmptyRange})
 		default:
 			seg := flat[starts[i]:starts[i+1]]
 			st.counters.samplesReturned.Add(uint64(len(seg)))
-			r.out <- result[[]K]{v: append(r.q.dst, seg...)}
+			r.reply(result[[]K]{v: append(r.q.dst, seg...)})
 		}
 	}
 }
@@ -355,6 +382,36 @@ func (c *Core[K]) Insert(name string, items []Item[K]) (int, error) {
 	return n, err
 }
 
+// InsertAsync is Insert without the blocking wait, under the same contract
+// as SampleAppendAsync: validation, routing, and admission errors return
+// synchronously (done never runs); on a nil return done.Deliver runs
+// exactly once with the stored count. An empty items slice is answered
+// inline — done.Deliver(0, nil) runs before InsertAsync returns. The items
+// slice must stay unmutated until done is invoked.
+func (c *Core[K]) InsertAsync(name string, items []Item[K], done Reply[int]) error {
+	st, err := c.lookup(name)
+	if err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		done.Deliver(0, nil)
+		return nil
+	}
+	if st.ds.Weighted() {
+		for _, it := range items {
+			if !weighted.ValidWeight(it.Weight) {
+				return ErrInvalidWeight
+			}
+		}
+	}
+	st.counters.insertRequests.Add(1)
+	err = st.inserts.submitAsync(items, done)
+	if errors.Is(err, ErrOverloaded) {
+		st.counters.insertRejected.Add(1)
+	}
+	return err
+}
+
 // insertFlusher is one insert flush worker's private state: the reusable
 // concatenation buffer merged batches are assembled in, so the per-flush
 // cost is the backend call (and, on durable datasets, the WAL append), not
@@ -386,9 +443,9 @@ func (f *insertFlusher[K]) flush(batch []request[[]Item[K], int]) {
 	}
 	for _, r := range batch {
 		if err != nil {
-			r.out <- result[int]{err: err}
+			r.reply(result[int]{err: err})
 		} else {
-			r.out <- result[int]{v: len(r.q)}
+			r.reply(result[int]{v: len(r.q)})
 		}
 	}
 }

@@ -1,4 +1,4 @@
-package server
+package wire
 
 import (
 	"testing"
@@ -10,11 +10,11 @@ import (
 // Frames that do decode must re-encode to the identical bytes (the format
 // has exactly one encoding per value), which also exercises the encoders.
 func FuzzBinaryFrame(f *testing.F) {
-	okSample, err := encodeSampleRequest(nil, binSampleReq{Dataset: "events", Lo: 1, Hi: 2, T: 3})
+	okSample, err := EncodeSampleRequest(nil, SampleReq{Dataset: "events", Lo: 1, Hi: 2, T: 3})
 	if err != nil {
 		f.Fatal(err)
 	}
-	okInsert, err := encodeInsertRequest(nil, binInsertReq{
+	okInsert, err := EncodeInsertRequest(nil, InsertReq{
 		Dataset: "w", Keys: []float64{1, 2}, Items: []Item{{Key: 3, Weight: 4}},
 	})
 	if err != nil {
@@ -27,8 +27,8 @@ func FuzzBinaryFrame(f *testing.F) {
 	f.Add([]byte{0x02, 0xff, 0xff, 0xff, 0xff})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if req, err := decodeSampleRequest(data); err == nil {
-			re, err := encodeSampleRequest(nil, req)
+		if req, err := DecodeSampleRequest(data); err == nil {
+			re, err := EncodeSampleRequest(nil, req)
 			if err != nil {
 				t.Fatalf("decoded sample frame fails to re-encode: %v", err)
 			}
@@ -36,8 +36,8 @@ func FuzzBinaryFrame(f *testing.F) {
 				t.Fatalf("sample frame not canonical: %x -> %+v -> %x", data, req, re)
 			}
 		}
-		if req, err := decodeInsertRequest(data, nil, nil); err == nil {
-			re, err := encodeInsertRequest(nil, req)
+		if req, err := DecodeInsertRequest(data, nil, nil); err == nil {
+			re, err := EncodeInsertRequest(nil, req)
 			if err != nil {
 				t.Fatalf("decoded insert frame fails to re-encode: %v", err)
 			}
@@ -45,9 +45,11 @@ func FuzzBinaryFrame(f *testing.F) {
 				t.Fatalf("insert frame not canonical: %x -> %+v -> %x", data, req, re)
 			}
 		}
-		// Responses: decode must never panic; no canonical-form check (any
-		// count/payload mismatch is an error by construction).
-		_, _ = decodeSampleResponse(data, nil)
-		_, _ = decodeInsertResponse(data)
+		// Responses and the error payload: decode must never panic; no
+		// canonical-form check (any count/payload mismatch is an error by
+		// construction).
+		_, _ = DecodeSampleResponse(data, nil)
+		_, _ = DecodeInsertResponse(data)
+		_, _, _, _ = DecodeError(data)
 	})
 }

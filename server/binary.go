@@ -1,9 +1,11 @@
 package server
 
 // The compact binary wire format for the two hot endpoints, /sample and
-// /insert. JSON costs the serving stack more than the samplers cost it —
-// float formatting/parsing plus per-request decoder allocation — so both
-// sides can negotiate length-prefixed little-endian frames instead via
+// /insert, lives in internal/wire and is shared with the persistent TCP
+// transport (package server/irsnet): both carry the same length-prefixed
+// little-endian frames, so a client can switch transports without the
+// server's sample streams diverging. On HTTP the encoding is negotiated
+// per request via
 //
 //	Content-Type: application/x-irs-bin
 //
@@ -12,359 +14,11 @@ package server
 // path and keep their machine-readable {"error":{code,message}} envelope,
 // so errors.Is works identically over both encodings).
 //
-// Frame layout (all integers little-endian, all floats IEEE-754 bits
-// little-endian; the HTTP body is exactly one frame, trailing bytes are an
-// error):
-//
-//	sample request   u8 kind=0x01 | u8 len(name) | name | f64 lo | f64 hi | u32 t
-//	sample response  u32 n | n x f64 samples
-//	insert request   u8 kind=0x02 | u8 len(name) | name | u32 nk | nk x f64 keys
-//	                 | u32 ni | ni x (f64 key, f64 weight) items
-//	insert response  u32 inserted
-//
 // Encode and decode run over pooled byte buffers on both the handler and
 // the typed client, so the binary path adds no per-request buffer
 // allocations on top of the zero-alloc serving core.
 
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"io"
-	"math"
-	"sync"
-)
+import "github.com/irsgo/irs/internal/wire"
 
 // ContentTypeBinary is the negotiated media type of the binary frames.
-const ContentTypeBinary = "application/x-irs-bin"
-
-// Frame kind bytes (first byte of every request frame).
-const (
-	frameSample = 0x01
-	frameInsert = 0x02
-)
-
-// errFrame wraps every decode failure so transports can answer
-// bad_request uniformly.
-var errFrame = errors.New("irs-bin: malformed frame")
-
-func frameErr(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", errFrame, fmt.Sprintf(format, args...))
-}
-
-// maxRetainedElems bounds the element capacity a pooled buffer keeps:
-// one outsized request must not leave multi-megabyte buffers circulating
-// in the pools forever (the serving core's flusher scratch applies the
-// same bound). Oversized buffers are reset to the pool's seed capacity.
-const maxRetainedElems = 1 << 16
-
-// bufPool recycles the encode/decode byte buffers of the binary path
-// (request bodies on the handler, frames on the client).
-var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
-
-func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
-
-func putBuf(b *[]byte) {
-	if cap(*b) > maxRetainedElems*8 {
-		*b = make([]byte, 0, 4096)
-	}
-	*b = (*b)[:0]
-	bufPool.Put(b)
-}
-
-// f64Pool recycles the float64 result buffers the handler samples into.
-var f64Pool = sync.Pool{New: func() any { s := make([]float64, 0, 512); return &s }}
-
-func getF64() *[]float64 { return f64Pool.Get().(*[]float64) }
-
-func putF64(s *[]float64) {
-	if cap(*s) > maxRetainedElems {
-		*s = make([]float64, 0, 512)
-	}
-	*s = (*s)[:0]
-	f64Pool.Put(s)
-}
-
-// itemPool recycles the decoded insert-item buffers.
-var itemPool = sync.Pool{New: func() any { s := make([]Item, 0, 256); return &s }}
-
-func getItems() *[]Item { return itemPool.Get().(*[]Item) }
-
-func putItems(s *[]Item) {
-	if cap(*s) > maxRetainedElems {
-		*s = make([]Item, 0, 256)
-	}
-	*s = (*s)[:0]
-	itemPool.Put(s)
-}
-
-// readAllInto reads r to EOF into b's spare capacity, growing as needed,
-// and returns the filled slice — the shared grow-and-read loop of the
-// handler's body reader and the client's response reader.
-func readAllInto(r io.Reader, b []byte) ([]byte, error) {
-	for {
-		if len(b) == cap(b) {
-			b = append(b, 0)[:len(b)]
-		}
-		n, err := r.Read(b[len(b):cap(b)])
-		b = b[:len(b)+n]
-		if err == io.EOF {
-			return b, nil
-		}
-		if err != nil {
-			return b, err
-		}
-	}
-}
-
-// appendU32 / appendF64 are the frame-building primitives.
-func appendU32(b []byte, v uint32) []byte {
-	return binary.LittleEndian.AppendUint32(b, v)
-}
-
-func appendF64(b []byte, v float64) []byte {
-	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
-}
-
-// frameReader consumes one frame front to back with bounds checking; every
-// read reports a typed framing error instead of panicking, which is the
-// property the fuzz target pins.
-type frameReader struct {
-	b []byte
-}
-
-func (r *frameReader) u8() (byte, error) {
-	if len(r.b) < 1 {
-		return 0, frameErr("truncated u8")
-	}
-	v := r.b[0]
-	r.b = r.b[1:]
-	return v, nil
-}
-
-func (r *frameReader) u32() (uint32, error) {
-	if len(r.b) < 4 {
-		return 0, frameErr("truncated u32")
-	}
-	v := binary.LittleEndian.Uint32(r.b)
-	r.b = r.b[4:]
-	return v, nil
-}
-
-func (r *frameReader) f64() (float64, error) {
-	if len(r.b) < 8 {
-		return 0, frameErr("truncated f64")
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
-	r.b = r.b[8:]
-	return v, nil
-}
-
-func (r *frameReader) name() (string, error) {
-	n, err := r.u8()
-	if err != nil {
-		return "", err
-	}
-	if len(r.b) < int(n) {
-		return "", frameErr("truncated name (%d bytes declared, %d left)", n, len(r.b))
-	}
-	name := string(r.b[:n])
-	r.b = r.b[n:]
-	return name, nil
-}
-
-// count reads a u32 element count and checks it against the bytes
-// actually remaining at elemSize bytes per element, so a hostile count
-// can never drive an oversized allocation.
-func (r *frameReader) count(elemSize int) (int, error) {
-	n, err := r.u32()
-	if err != nil {
-		return 0, err
-	}
-	if int64(n)*int64(elemSize) > int64(len(r.b)) {
-		return 0, frameErr("count %d exceeds remaining %d bytes", n, len(r.b))
-	}
-	return int(n), nil
-}
-
-func (r *frameReader) done() error {
-	if len(r.b) != 0 {
-		return frameErr("%d trailing bytes", len(r.b))
-	}
-	return nil
-}
-
-// binSampleReq is a decoded sample request frame.
-type binSampleReq struct {
-	Dataset string
-	Lo, Hi  float64
-	T       int
-}
-
-// encodeSampleRequest appends the sample request frame to b.
-func encodeSampleRequest(b []byte, req binSampleReq) ([]byte, error) {
-	if len(req.Dataset) > 255 {
-		return b, frameErr("dataset name longer than 255 bytes")
-	}
-	if req.T > math.MaxInt32 {
-		// Truncating would silently request a different count; the JSON
-		// encoding transmits the full int, so reject rather than diverge.
-		return b, frameErr("sample count %d exceeds the wire format's int32 range", req.T)
-	}
-	b = append(b, frameSample, byte(len(req.Dataset)))
-	b = append(b, req.Dataset...)
-	b = appendF64(b, req.Lo)
-	b = appendF64(b, req.Hi)
-	// Negative T is transmitted as-is (int32 two's complement) so the
-	// server's count validation answers it exactly like the JSON path.
-	b = appendU32(b, uint32(int32(req.T)))
-	return b, nil
-}
-
-// decodeSampleRequest parses one sample request frame.
-func decodeSampleRequest(b []byte) (binSampleReq, error) {
-	r := frameReader{b: b}
-	var req binSampleReq
-	kind, err := r.u8()
-	if err != nil {
-		return req, err
-	}
-	if kind != frameSample {
-		return req, frameErr("kind 0x%02x on /sample, want 0x%02x", kind, frameSample)
-	}
-	if req.Dataset, err = r.name(); err != nil {
-		return req, err
-	}
-	if req.Lo, err = r.f64(); err != nil {
-		return req, err
-	}
-	if req.Hi, err = r.f64(); err != nil {
-		return req, err
-	}
-	t, err := r.u32()
-	if err != nil {
-		return req, err
-	}
-	req.T = int(int32(t)) // round-trips the client's int32 truncation, sign included
-	return req, r.done()
-}
-
-// encodeSampleResponse appends the sample response frame to b.
-func encodeSampleResponse(b []byte, samples []float64) []byte {
-	b = appendU32(b, uint32(len(samples)))
-	for _, s := range samples {
-		b = appendF64(b, s)
-	}
-	return b
-}
-
-// decodeSampleResponse parses a sample response frame, appending the
-// samples to dst. On any decode error dst is returned at its original
-// length — a malformed frame must not leave samples behind in a buffer
-// the caller reuses.
-func decodeSampleResponse(b []byte, dst []float64) ([]float64, error) {
-	base := len(dst)
-	r := frameReader{b: b}
-	n, err := r.count(8)
-	if err != nil {
-		return dst, err
-	}
-	for i := 0; i < n; i++ {
-		v, err := r.f64()
-		if err != nil {
-			return dst[:base], err
-		}
-		dst = append(dst, v)
-	}
-	if err := r.done(); err != nil {
-		return dst[:base], err
-	}
-	return dst, nil
-}
-
-// binInsertReq is a decoded insert request frame. Keys is the unit-weight
-// shorthand, Items the weighted form — the same split as InsertRequest.
-type binInsertReq struct {
-	Dataset string
-	Keys    []float64
-	Items   []Item
-}
-
-// encodeInsertRequest appends the insert request frame to b.
-func encodeInsertRequest(b []byte, req binInsertReq) ([]byte, error) {
-	if len(req.Dataset) > 255 {
-		return b, frameErr("dataset name longer than 255 bytes")
-	}
-	b = append(b, frameInsert, byte(len(req.Dataset)))
-	b = append(b, req.Dataset...)
-	b = appendU32(b, uint32(len(req.Keys)))
-	for _, k := range req.Keys {
-		b = appendF64(b, k)
-	}
-	b = appendU32(b, uint32(len(req.Items)))
-	for _, it := range req.Items {
-		b = appendF64(b, it.Key)
-		b = appendF64(b, it.Weight)
-	}
-	return b, nil
-}
-
-// decodeInsertRequest parses one insert request frame, appending decoded
-// keys/items into the caller's (pooled) dst slices.
-func decodeInsertRequest(b []byte, keys []float64, items []Item) (binInsertReq, error) {
-	r := frameReader{b: b}
-	var req binInsertReq
-	kind, err := r.u8()
-	if err != nil {
-		return req, err
-	}
-	if kind != frameInsert {
-		return req, frameErr("kind 0x%02x on /insert, want 0x%02x", kind, frameInsert)
-	}
-	if req.Dataset, err = r.name(); err != nil {
-		return req, err
-	}
-	nk, err := r.count(8)
-	if err != nil {
-		return req, err
-	}
-	for i := 0; i < nk; i++ {
-		v, err := r.f64()
-		if err != nil {
-			return req, err
-		}
-		keys = append(keys, v)
-	}
-	ni, err := r.count(16)
-	if err != nil {
-		return req, err
-	}
-	for i := 0; i < ni; i++ {
-		k, err := r.f64()
-		if err != nil {
-			return req, err
-		}
-		w, err := r.f64()
-		if err != nil {
-			return req, err
-		}
-		items = append(items, Item{Key: k, Weight: w})
-	}
-	req.Keys, req.Items = keys, items
-	return req, r.done()
-}
-
-// encodeInsertResponse appends the insert response frame to b.
-func encodeInsertResponse(b []byte, inserted int) []byte {
-	return appendU32(b, uint32(inserted))
-}
-
-// decodeInsertResponse parses an insert response frame.
-func decodeInsertResponse(b []byte) (int, error) {
-	r := frameReader{b: b}
-	n, err := r.u32()
-	if err != nil {
-		return 0, err
-	}
-	return int(n), r.done()
-}
+const ContentTypeBinary = wire.ContentTypeBinary

@@ -8,10 +8,15 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"github.com/irsgo/irs/internal/wire"
 )
 
 // Client is the typed Go client of the irsd protocol. It is safe for
-// concurrent use; the zero HTTPClient means http.DefaultClient.
+// concurrent use; the zero HTTPClient means the dedicated pooled client
+// NewClient builds (http.DefaultClient caps idle connections per host at
+// 2, which makes every concurrency-N workload past N=2 re-dial
+// constantly — see newPooledHTTPClient).
 type Client struct {
 	base string
 	// HTTPClient overrides the transport (timeouts, connection pooling).
@@ -26,7 +31,21 @@ type Client struct {
 // NewClient returns a client for the daemon at base, e.g.
 // "http://127.0.0.1:8080".
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/")}
+	return &Client{base: strings.TrimRight(base, "/"), HTTPClient: newPooledHTTPClient()}
+}
+
+// newPooledHTTPClient builds the client's default transport. The stock
+// http.DefaultTransport allows only DefaultMaxIdleConnsPerHost (2) idle
+// connections to one host: a 64-way concurrent caller keeps 64 connections
+// busy, but the moment a burst ends, all but 2 are torn down and the next
+// burst pays full TCP re-dial latency — which polluted the committed
+// BENCH_serving latency numbers. A typed client talks to exactly one host,
+// so idle-per-host may match the total idle pool.
+func newPooledHTTPClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 256
+	return &http.Client{Transport: tr}
 }
 
 // APIError is a decoded irsd error response. Unwrap yields the matching
@@ -42,7 +61,7 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("irsd: %s (http %d): %s", e.Code, e.Status, e.Message)
 }
 
-func (e *APIError) Unwrap() error { return codeToErr[e.Code] }
+func (e *APIError) Unwrap() error { return wire.CodeToErr[e.Code] }
 
 // Sample requests t independent samples from [lo, hi] of dataset (empty
 // selects the daemon's sole dataset).
@@ -55,9 +74,9 @@ func (c *Client) Sample(ctx context.Context, dataset string, lo, hi float64, t i
 // unchanged.
 func (c *Client) SampleAppend(ctx context.Context, dataset string, dst []float64, lo, hi float64, t int) ([]float64, error) {
 	if c.Binary {
-		buf := getBuf()
-		defer putBuf(buf)
-		frame, err := encodeSampleRequest((*buf)[:0], binSampleReq{Dataset: dataset, Lo: lo, Hi: hi, T: t})
+		buf := wire.GetBuf()
+		defer wire.PutBuf(buf)
+		frame, err := wire.EncodeSampleRequest((*buf)[:0], wire.SampleReq{Dataset: dataset, Lo: lo, Hi: hi, T: t})
 		if err != nil {
 			return dst, err
 		}
@@ -66,7 +85,7 @@ func (c *Client) SampleAppend(ctx context.Context, dataset string, dst []float64
 		if err != nil {
 			return dst, err
 		}
-		return decodeSampleResponse(body, dst)
+		return wire.DecodeSampleResponse(body, dst)
 	}
 	var resp SampleResponse
 	if err := c.post(ctx, "/sample", SampleRequest{Dataset: dataset, Lo: lo, Hi: hi, T: t}, &resp); err != nil {
@@ -81,7 +100,7 @@ func (c *Client) SampleAppend(ctx context.Context, dataset string, dst []float64
 // InsertKeys stores keys with unit weight, returning how many were stored.
 func (c *Client) InsertKeys(ctx context.Context, dataset string, keys []float64) (int, error) {
 	if c.Binary {
-		return c.insertBinary(ctx, binInsertReq{Dataset: dataset, Keys: keys})
+		return c.insertBinary(ctx, wire.InsertReq{Dataset: dataset, Keys: keys})
 	}
 	var resp InsertResponse
 	err := c.post(ctx, "/insert", InsertRequest{Dataset: dataset, Keys: keys}, &resp)
@@ -91,17 +110,17 @@ func (c *Client) InsertKeys(ctx context.Context, dataset string, keys []float64)
 // InsertItems stores weighted items, returning how many were stored.
 func (c *Client) InsertItems(ctx context.Context, dataset string, items []Item) (int, error) {
 	if c.Binary {
-		return c.insertBinary(ctx, binInsertReq{Dataset: dataset, Items: items})
+		return c.insertBinary(ctx, wire.InsertReq{Dataset: dataset, Items: items})
 	}
 	var resp InsertResponse
 	err := c.post(ctx, "/insert", InsertRequest{Dataset: dataset, Items: items}, &resp)
 	return resp.Inserted, err
 }
 
-func (c *Client) insertBinary(ctx context.Context, req binInsertReq) (int, error) {
-	buf := getBuf()
-	defer putBuf(buf)
-	frame, err := encodeInsertRequest((*buf)[:0], req)
+func (c *Client) insertBinary(ctx context.Context, req wire.InsertReq) (int, error) {
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	frame, err := wire.EncodeInsertRequest((*buf)[:0], req)
 	if err != nil {
 		return 0, err
 	}
@@ -110,7 +129,7 @@ func (c *Client) insertBinary(ctx context.Context, req binInsertReq) (int, error
 	if err != nil {
 		return 0, err
 	}
-	return decodeInsertResponse(body)
+	return wire.DecodeInsertResponse(body)
 }
 
 // Delete removes one occurrence of each key, returning how many were
@@ -164,10 +183,14 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	return c.do(req, out)
 }
 
+// sharedPooledClient answers the nil-HTTPClient fallback for Client values
+// assembled without NewClient.
+var sharedPooledClient = newPooledHTTPClient()
+
 func (c *Client) do(req *http.Request, out any) error {
 	hc := c.HTTPClient
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = sharedPooledClient
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
@@ -205,7 +228,7 @@ func (c *Client) postFrame(ctx context.Context, path string, frame []byte, buf *
 	req.Header.Set("Content-Type", ContentTypeBinary)
 	hc := c.HTTPClient
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = sharedPooledClient
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
@@ -218,7 +241,7 @@ func (c *Client) postFrame(ctx context.Context, path string, frame []byte, buf *
 	if resp.StatusCode/100 != 2 {
 		return nil, decodeAPIError(resp)
 	}
-	b, err := readAllInto(resp.Body, (*buf)[:0])
+	b, err := wire.ReadAllInto(resp.Body, (*buf)[:0])
 	*buf = b
 	if err != nil {
 		return nil, err

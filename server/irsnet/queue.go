@@ -1,0 +1,65 @@
+package irsnet
+
+import "sync"
+
+// writeQueue hands encoded response buffers from the flusher goroutines
+// delivering on a connection to that connection's single writer goroutine.
+// It is an eventbox, not a channel: producers append under a mutex and do
+// a non-blocking send on a 1-buffered wake channel, the consumer swaps the
+// whole slice out and drains it. Wakeups coalesce — N concurrent
+// deliveries cost one slice append each and at most one wakeup — and the
+// consumer sees natural batches, so it can write many responses per
+// syscall and flush once when the queue runs dry. Neither side ever
+// allocates in steady state: the two slices swap back and forth.
+type writeQueue struct {
+	mu     sync.Mutex
+	bufs   []*[]byte
+	closed bool
+	wake   chan struct{}
+}
+
+func newWriteQueue() *writeQueue {
+	return &writeQueue{wake: make(chan struct{}, 1)}
+}
+
+// push enqueues b and wakes the writer. It reports false — without
+// enqueueing — once the queue is closed; the caller keeps ownership of b.
+func (q *writeQueue) push(b *[]byte) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.bufs = append(q.bufs, b)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// swap exchanges the queued buffers for spare (an empty slice whose
+// capacity is recycled) and reports whether the queue has been closed.
+// An empty result with closed set means the writer may exit: close
+// happens-after every push it needs to drain.
+func (q *writeQueue) swap(spare []*[]byte) ([]*[]byte, bool) {
+	q.mu.Lock()
+	bufs := q.bufs
+	q.bufs = spare
+	closed := q.closed
+	q.mu.Unlock()
+	return bufs, closed
+}
+
+// close stops admission and wakes the writer so it can observe the close
+// after draining what was already queued.
+func (q *writeQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}

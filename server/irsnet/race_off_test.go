@@ -1,0 +1,5 @@
+//go:build !race
+
+package irsnet_test
+
+const raceEnabled = false

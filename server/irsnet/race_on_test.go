@@ -1,0 +1,8 @@
+//go:build race
+
+package irsnet_test
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation (and deliberate sync.Pool Put-dropping) makes
+// allocation counts meaningless.
+const raceEnabled = true

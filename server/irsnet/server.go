@@ -1,0 +1,402 @@
+package irsnet
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/irsgo/irs/internal/wire"
+	"github.com/irsgo/irs/server"
+)
+
+// Server serves the irsnet protocol over raw TCP connections, submitting
+// every decoded request asynchronously into the same coalescing core the
+// HTTP layer wraps. Per connection it runs exactly two goroutines: a
+// reader that decodes messages and submits them (never waiting for a
+// flush, so pipelined requests behind a slow batch are not stalled), and
+// a writer that drains an eventbox queue of encoded responses, batching
+// them into large writes. The steady-state per-request path allocates
+// nothing: message scratch, result buffers, and the Reply callbacks
+// delivering flush results are all pooled, and dataset names are interned
+// off the request frames.
+type Server struct {
+	backend *server.Server
+	names   internTable
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup // one count per live connection handler
+}
+
+// NewServer returns a Server answering requests from backend's datasets.
+func NewServer(backend *server.Server) *Server {
+	s := &Server{backend: backend, conns: make(map[*conn]struct{})}
+	s.names.m = make(map[string]string)
+	return s
+}
+
+// Serve accepts connections on l until Shutdown (returning nil) or an
+// accept error (returning it). The listener is closed either way.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = l.Close()
+		return nil
+	}
+	s.lis = l
+	s.mu.Unlock()
+	defer l.Close()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c := &conn{srv: s, nc: nc, q: newWriteQueue()}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			c.handle()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown gracefully stops the server: it closes the listener, unblocks
+// every connection's reader (no further requests are accepted), and waits
+// for requests already read to be answered and their responses written.
+// If ctx expires first, remaining connections are force-closed and
+// ctx.Err() is returned. Like http.Server.Shutdown, it does not close the
+// serving core — close that after Shutdown returns for a full drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close()
+	}
+	for _, c := range conns {
+		// A deadline in the past fails the reader's current and future
+		// Reads without touching writes: in-flight requests still answer.
+		_ = c.nc.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.nc.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// conn is one accepted connection: its reader state plus the write queue
+// its responses funnel through.
+type conn struct {
+	srv      *Server
+	nc       net.Conn
+	q        *writeQueue
+	inflight sync.WaitGroup // requests submitted but not yet delivered
+	readBuf  []byte         // frame scratch, reused across requests
+}
+
+// handle runs the connection to completion. Teardown order is the drain
+// contract: the reader stops first, then every submitted request delivers
+// (the core answers all accepted work), then the queue closes so the
+// writer drains what was enqueued, and only then does the socket close.
+func (c *conn) handle() {
+	wdone := make(chan struct{})
+	go c.writeLoop(wdone)
+	c.readLoop()
+	c.inflight.Wait()
+	c.q.close()
+	<-wdone
+	_ = c.nc.Close()
+}
+
+// maxRetainedRead bounds the frame scratch kept between requests, so one
+// outsized insert does not pin megabytes per connection for its lifetime.
+const maxRetainedRead = 1 << 20
+
+// readLoop decodes messages and dispatches them until the connection
+// fails, closes, or a malformed envelope desynchronizes the stream.
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	var hdr [reqHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		id := binary.LittleEndian.Uint64(hdr[4:12])
+		if n < minRequestLen || n > MaxMessageBytes {
+			return // envelope out of sync: there is no frame boundary to recover at
+		}
+		frameLen := int(n) - 8
+		if cap(c.readBuf) < frameLen {
+			c.readBuf = make([]byte, frameLen)
+		}
+		frame := c.readBuf[:frameLen]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return
+		}
+		c.dispatch(id, frame)
+		if cap(c.readBuf) > maxRetainedRead {
+			c.readBuf = nil
+		}
+	}
+}
+
+// dispatch decodes one request frame and submits it. Everything the
+// request needs afterwards — the interned dataset name, the query bounds,
+// the copied insert items — survives the frame buffer, so the reader can
+// reuse it for the next message immediately; the submitted work answers
+// through a pooled Reply that encodes and enqueues the response from the
+// delivering flusher goroutine.
+func (c *conn) dispatch(id uint64, frame []byte) {
+	switch frame[0] {
+	case wire.FrameSample:
+		raw, err := wire.DecodeSampleRequestRaw(frame)
+		if err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		name := c.srv.names.intern(raw.Name)
+		p := samplePool.Get().(*pendingSample)
+		dst := wire.GetF64()
+		p.c, p.id, p.dst = c, id, dst
+		c.inflight.Add(1)
+		if err := c.srv.backend.SampleAsync(name, (*dst)[:0], raw.Lo, raw.Hi, raw.T, p); err != nil {
+			c.inflight.Done()
+			p.c, p.dst = nil, nil
+			samplePool.Put(p)
+			wire.PutF64(dst)
+			c.sendErr(id, err)
+		}
+	case wire.FrameInsert:
+		items := wire.GetItems()
+		rawName, all, err := wire.DecodeInsertRequestItems(frame, (*items)[:0])
+		*items = all
+		if err != nil {
+			wire.PutItems(items)
+			c.sendErr(id, err)
+			return
+		}
+		name := c.srv.names.intern(rawName)
+		p := insertPool.Get().(*pendingInsert)
+		p.c, p.id, p.items = c, id, items
+		c.inflight.Add(1)
+		if err := c.srv.backend.InsertAsync(name, all, p); err != nil {
+			c.inflight.Done()
+			p.c, p.items = nil, nil
+			insertPool.Put(p)
+			wire.PutItems(items)
+			c.sendErr(id, err)
+		}
+	default:
+		c.sendErr(id, fmt.Errorf("%w: unknown frame kind 0x%02x", wire.ErrFrame, frame[0]))
+	}
+}
+
+// sendErr encodes and enqueues one error response. Errors are off the hot
+// path; this path may allocate (the message string).
+func (c *conn) sendErr(id uint64, err error) {
+	code, status := wire.ErrCode(err)
+	msg := err.Error()
+	if len(msg) > 1<<15 {
+		msg = msg[:1<<15]
+	}
+	buf := wire.GetBuf()
+	b := (*buf)[:0]
+	b = wire.AppendU32(b, uint32(minResponseLen+2+1+len(code)+2+len(msg)))
+	b = wire.AppendU64(b, id)
+	b = append(b, statusErr)
+	b = wire.EncodeError(b, code, status, msg)
+	*buf = b
+	c.send(buf)
+}
+
+// send hands buf to the writer; ownership transfers on success. After the
+// queue closes (connection teardown) the response is dropped and the
+// buffer recycled — the peer is gone.
+func (c *conn) send(buf *[]byte) {
+	if !c.q.push(buf) {
+		wire.PutBuf(buf)
+	}
+}
+
+// writeLoop drains the eventbox queue into the socket: every swapped
+// batch is written back to back and the stream flushed only when the
+// queue runs dry, so bursts of pipelined responses coalesce into few
+// syscalls. On a write error it keeps draining (recycling buffers so
+// producers never leak) but stops writing, and closes the socket to
+// unblock the reader.
+func (c *conn) writeLoop(done chan struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	var spare []*[]byte
+	failed := false
+	fail := func() {
+		failed = true
+		_ = c.nc.Close()
+	}
+	for {
+		batch, closed := c.q.swap(spare[:0])
+		if len(batch) == 0 {
+			spare = batch
+			if closed {
+				if !failed {
+					_ = bw.Flush()
+				}
+				return
+			}
+			if !failed {
+				if err := bw.Flush(); err != nil {
+					fail()
+				}
+			}
+			<-c.q.wake
+			continue
+		}
+		for _, b := range batch {
+			if !failed {
+				if _, err := bw.Write(*b); err != nil {
+					fail()
+				}
+			}
+			wire.PutBuf(b)
+		}
+		spare = batch
+	}
+}
+
+// pendingSample is one in-flight sample request's Reply: a pooled pointer
+// (boxing into the Reply interface without allocating) that encodes the
+// response envelope around the delivered samples and enqueues it.
+type pendingSample struct {
+	c   *conn
+	id  uint64
+	dst *[]float64 // pooled result buffer the core appends into
+}
+
+var samplePool = sync.Pool{New: func() any { return new(pendingSample) }}
+
+// Deliver implements server.SampleReply; it runs on a core flusher
+// goroutine and must only encode and enqueue.
+func (p *pendingSample) Deliver(v []float64, err error) {
+	c, id := p.c, p.id
+	if err != nil {
+		c.sendErr(id, err)
+	} else {
+		buf := wire.GetBuf()
+		b := (*buf)[:0]
+		b = wire.AppendU32(b, uint32(minResponseLen+4+8*len(v)))
+		b = wire.AppendU64(b, id)
+		b = append(b, statusOK)
+		b = wire.EncodeSampleResponse(b, v)
+		*buf = b
+		c.send(buf)
+		*p.dst = v[:0] // keep the buffer's growth pooled
+	}
+	wire.PutF64(p.dst)
+	p.c, p.dst = nil, nil
+	samplePool.Put(p)
+	c.inflight.Done()
+}
+
+// pendingInsert is pendingSample's insert counterpart; it also owns the
+// pooled decoded-items buffer until delivery (the core requires the items
+// unmutated until then).
+type pendingInsert struct {
+	c     *conn
+	id    uint64
+	items *[]wire.Item
+}
+
+var insertPool = sync.Pool{New: func() any { return new(pendingInsert) }}
+
+// Deliver implements server.InsertReply.
+func (p *pendingInsert) Deliver(n int, err error) {
+	c, id := p.c, p.id
+	if err != nil {
+		c.sendErr(id, err)
+	} else {
+		buf := wire.GetBuf()
+		b := (*buf)[:0]
+		b = wire.AppendU32(b, uint32(minResponseLen+4))
+		b = wire.AppendU64(b, id)
+		b = append(b, statusOK)
+		b = wire.EncodeInsertResponse(b, n)
+		*buf = b
+		c.send(buf)
+	}
+	wire.PutItems(p.items)
+	p.c, p.items = nil, nil
+	insertPool.Put(p)
+	c.inflight.Done()
+}
+
+// internTable interns dataset names decoded off request frames, so the
+// steady-state path hands the core an existing string instead of
+// allocating one per request (map lookup by []byte compiles to no
+// allocation). It is bounded: a hostile stream of unique names falls back
+// to plain allocation instead of growing the table forever.
+type internTable struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+const maxInterned = 1024
+
+func (t *internTable) intern(b []byte) string {
+	t.mu.RLock()
+	s, ok := t.m[string(b)]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	if len(t.m) >= maxInterned {
+		return string(b)
+	}
+	s = string(b)
+	t.m[s] = s
+	return s
+}

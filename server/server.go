@@ -37,13 +37,13 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"net/http"
 	"strconv"
 	"strings"
 
 	irs "github.com/irsgo/irs"
 	srv "github.com/irsgo/irs/internal/server"
+	"github.com/irsgo/irs/internal/wire"
 )
 
 // Config holds the admission-control and coalescing knobs, applied per
@@ -169,7 +169,7 @@ func readFrame(w http.ResponseWriter, r *http.Request, buf *[]byte) ([]byte, boo
 	if n := r.ContentLength; n > 0 && n <= maxBodyBytes && int64(cap(b)) < n {
 		b = make([]byte, 0, n)
 	}
-	b, err := readAllInto(body, b)
+	b, err := wire.ReadAllInto(body, b)
 	*buf = b
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
@@ -190,19 +190,19 @@ func writeFrame(w http.ResponseWriter, frame []byte) {
 // pooled float64 result buffer appended to by the zero-alloc core, and the
 // response frame encoded over the request's own (already decoded) buffer.
 func (s *Server) handleSampleBinary(w http.ResponseWriter, r *http.Request) {
-	buf := getBuf()
-	defer putBuf(buf)
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
 	body, ok := readFrame(w, r, buf)
 	if !ok {
 		return
 	}
-	req, err := decodeSampleRequest(body)
+	req, err := wire.DecodeSampleRequest(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	dst := getF64()
-	defer putF64(dst)
+	dst := wire.GetF64()
+	defer wire.PutF64(dst)
 	samples, err := s.core.SampleAppend(req.Dataset, (*dst)[:0], req.Lo, req.Hi, req.T)
 	*dst = samples[:0] // keep any growth for the next request
 	if err != nil {
@@ -211,7 +211,7 @@ func (s *Server) handleSampleBinary(w http.ResponseWriter, r *http.Request) {
 	}
 	// The request frame is fully decoded, so its buffer doubles as the
 	// response frame; the (usually larger) grown buffer stays pooled.
-	frame := encodeSampleResponse(body[:0], samples)
+	frame := wire.EncodeSampleResponse(body[:0], samples)
 	*buf = frame[:0]
 	writeFrame(w, frame)
 }
@@ -219,42 +219,29 @@ func (s *Server) handleSampleBinary(w http.ResponseWriter, r *http.Request) {
 // handleInsertBinary is the binary form of /insert: pooled buffers for the
 // body, the decoded keys/items, and the response frame.
 func (s *Server) handleInsertBinary(w http.ResponseWriter, r *http.Request) {
-	buf := getBuf()
-	defer putBuf(buf)
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
 	body, ok := readFrame(w, r, buf)
 	if !ok {
 		return
 	}
-	keys, items := getF64(), getItems()
-	defer putF64(keys)
-	defer putItems(items)
-	req, err := decodeInsertRequest(body, (*keys)[:0], (*items)[:0])
+	// Keys decode ahead of items as unit-weight entries of one combined
+	// slice — the JSON handler's apply order — so a mixed frame inserts
+	// identically over every transport.
+	items := wire.GetItems()
+	defer wire.PutItems(items)
+	name, all, err := wire.DecodeInsertRequestItems(body, (*items)[:0])
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	*keys, *items = req.Keys[:0], req.Items[:0]
-	all := req.Items
-	if len(req.Keys) > 0 {
-		// Keys apply before items — the JSON handler's order — so a mixed
-		// frame inserts identically over both encodings. Built in a second
-		// pooled buffer (req.Items aliases the first).
-		combined := getItems()
-		defer putItems(combined)
-		buf := (*combined)[:0]
-		for _, k := range req.Keys {
-			buf = append(buf, Item{Key: k, Weight: 1})
-		}
-		buf = append(buf, req.Items...)
-		*combined = buf[:0]
-		all = buf
-	}
-	n, err := s.core.Insert(req.Dataset, all)
+	*items = all[:0]
+	n, err := s.core.Insert(string(name), all)
 	if err != nil {
 		writeCoreError(w, err)
 		return
 	}
-	frame := encodeInsertResponse(body[:0], n)
+	frame := wire.EncodeInsertResponse(body[:0], n)
 	*buf = frame[:0]
 	writeFrame(w, frame)
 }
@@ -386,50 +373,10 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// errCodeStatus maps a core error to its wire code and HTTP status.
-func errCodeStatus(err error) (code string, status int) {
-	switch {
-	case errors.Is(err, ErrUnknownDataset):
-		return "unknown_dataset", http.StatusNotFound
-	case errors.Is(err, ErrAmbiguousDataset):
-		return "ambiguous_dataset", http.StatusBadRequest
-	case errors.Is(err, ErrInvalidRange):
-		return "invalid_range", http.StatusBadRequest
-	case errors.Is(err, ErrInvalidCount):
-		return "invalid_count", http.StatusBadRequest
-	case errors.Is(err, ErrInvalidWeight):
-		return "invalid_weight", http.StatusBadRequest
-	case errors.Is(err, ErrNotWeighted):
-		return "not_weighted", http.StatusBadRequest
-	case errors.Is(err, ErrNotDurable):
-		return "not_durable", http.StatusConflict
-	case errors.Is(err, ErrEmptyRange):
-		return "empty_range", http.StatusUnprocessableEntity
-	case errors.Is(err, ErrOverloaded):
-		return "overloaded", http.StatusServiceUnavailable
-	case errors.Is(err, ErrShuttingDown):
-		return "shutting_down", http.StatusServiceUnavailable
-	default:
-		return "internal", http.StatusInternalServerError
-	}
-}
-
-// codeToErr is the client-side inverse of errCodeStatus.
-var codeToErr = map[string]error{
-	"unknown_dataset":   ErrUnknownDataset,
-	"ambiguous_dataset": ErrAmbiguousDataset,
-	"invalid_range":     ErrInvalidRange,
-	"invalid_count":     ErrInvalidCount,
-	"invalid_weight":    ErrInvalidWeight,
-	"not_weighted":      ErrNotWeighted,
-	"not_durable":       ErrNotDurable,
-	"empty_range":       ErrEmptyRange,
-	"overloaded":        ErrOverloaded,
-	"shutting_down":     ErrShuttingDown,
-}
-
 func writeCoreError(w http.ResponseWriter, err error) {
-	code, status := errCodeStatus(err)
+	// The code/status mapping lives in internal/wire, shared with the TCP
+	// transport so both answer one error vocabulary.
+	code, status := wire.ErrCode(err)
 	writeError(w, status, code, err.Error())
 }
 
