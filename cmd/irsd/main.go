@@ -53,6 +53,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -65,24 +66,26 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		tcpAddr  = flag.String("tcp-addr", "", "persistent binary TCP listen address (empty disables; port 0 picks a free port)")
-		datasets = flag.String("datasets", "demo", "comma-separated name[:weighted|:unweighted] specs")
-		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "target shard count per dataset")
-		seed     = flag.Uint64("seed", 1, "seed anchoring each dataset's sampling streams")
-		preload  = flag.Int("preload", 0, "keys preloaded per dataset, uniform in [0, 1e6)")
-		queue    = flag.Int("queue", 0, "pending-request bound per dataset and path (0 = default)")
-		maxBatch = flag.Int("max-batch", 0, "max coalesced requests per backend call (0 = default)")
-		window   = flag.Duration("coalesce-window", 100*time.Microsecond, "linger time for batch-mates (0 = opportunistic only)")
-		flushers = flag.Int("flushers", 0, "parallel backend calls per dataset and path (0 = GOMAXPROCS)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		tcpAddr    = flag.String("tcp-addr", "", "persistent binary TCP listen address (empty disables; port 0 picks a free port)")
+		tcpReadBuf = flag.Int("tcp-read-buf", 0, "per-connection read buffer for the binary TCP transport, bytes (0 = default 32 KiB)")
+		datasets   = flag.String("datasets", "demo", "comma-separated name[:weighted|:unweighted] specs")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "target shard count per dataset")
+		seed       = flag.Uint64("seed", 1, "seed anchoring each dataset's sampling streams")
+		preload    = flag.Int("preload", 0, "keys preloaded per dataset, uniform in [0, 1e6)")
+		queue      = flag.Int("queue", 0, "pending-request bound per dataset and path (0 = default)")
+		maxBatch   = flag.Int("max-batch", 0, "max coalesced requests per backend call (0 = default)")
+		window     = flag.Duration("coalesce-window", 100*time.Microsecond, "linger time for batch-mates (0 = opportunistic only)")
+		flushers   = flag.Int("flushers", 0, "parallel backend calls per dataset and path (0 = GOMAXPROCS)")
 
 		readHdrTimeout = flag.Duration("read-header-timeout", 5*time.Second, "HTTP header read deadline per request (guards against slowloris connections)")
 		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle connection deadline")
 
-		dataDir   = flag.String("data-dir", "", "durability root: one WAL+snapshot directory per dataset (empty = memory-only)")
-		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval, or none")
-		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
-		snapEvery = flag.Duration("snapshot-every", 15*time.Minute, "background snapshot/compaction period for durable datasets (0 disables)")
+		dataDir     = flag.String("data-dir", "", "durability root: one WAL+snapshot directory per dataset (empty = memory-only)")
+		fsync       = flag.String("fsync", "always", "WAL fsync policy: always, interval, or none")
+		fsyncIvl    = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
+		snapEvery   = flag.Duration("snapshot-every", 15*time.Minute, "background snapshot/compaction period for durable datasets (0 disables)")
+		recoverConc = flag.Int("recover-concurrency", 0, "durable datasets recovered in parallel at boot (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -90,7 +93,7 @@ func run() int {
 	// a durability knob that silently does nothing is worse than an error.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if err := validateFlags(explicit, *dataDir, *fsync, *readHdrTimeout, *idleTimeout); err != nil {
+	if err := validateFlags(explicit, *dataDir, *fsync, *readHdrTimeout, *idleTimeout, *recoverConc, *tcpAddr, *tcpReadBuf); err != nil {
 		log.Printf("irsd: %v", err)
 		return 2
 	}
@@ -101,7 +104,7 @@ func run() int {
 		CoalesceWindow: *window,
 		Flushers:       *flushers,
 	})
-	names, err := addDatasets(s, *datasets, *shards, *seed, *preload, *dataDir, *fsync, *fsyncIvl)
+	names, err := addDatasets(s, *datasets, *shards, *seed, *preload, *dataDir, *fsync, *fsyncIvl, *recoverConc)
 	if err != nil {
 		log.Printf("irsd: %v", err)
 		// Datasets registered before the failing one may already hold open
@@ -189,7 +192,7 @@ func run() int {
 	var tcpSrv *irsnet.Server
 	var tcpDone chan error // nil (never selected) when -tcp-addr is unset
 	if tln != nil {
-		tcpSrv = irsnet.NewServer(s)
+		tcpSrv = irsnet.NewServerOpts(s, irsnet.ServerOptions{ReadBufferSize: *tcpReadBuf})
 		tcpDone = make(chan error, 1)
 		go func() { tcpDone <- tcpSrv.Serve(tln) }()
 	}
@@ -263,15 +266,24 @@ func run() int {
 // re-open the unbounded-connection hole the defaults exist to close.
 // explicit holds the flag names the user actually set on the command line
 // (flag.Visit), so defaults never trip the validation.
-func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHeaderTimeout, idleTimeout time.Duration) error {
+func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHeaderTimeout, idleTimeout time.Duration, recoverConc int, tcpAddr string, tcpReadBuf int) error {
 	if readHeaderTimeout <= 0 {
 		return errors.New("-read-header-timeout must be positive (a zero http.Server timeout means no limit: any client trickling header bytes pins a connection forever)")
 	}
 	if idleTimeout <= 0 {
 		return errors.New("-idle-timeout must be positive (a zero http.Server timeout means no limit: idle keep-alive connections accumulate forever)")
 	}
+	if recoverConc < 0 {
+		return errors.New("-recover-concurrency must be >= 0 (0 means GOMAXPROCS)")
+	}
+	if tcpReadBuf < 0 {
+		return errors.New("-tcp-read-buf must be >= 0 (0 means the default size)")
+	}
+	if explicit["tcp-read-buf"] && tcpAddr == "" {
+		return errors.New("-tcp-read-buf has no effect without -tcp-addr (the binary TCP transport is disabled)")
+	}
 	if dataDir == "" {
-		for _, name := range []string{"fsync", "fsync-interval", "snapshot-every"} {
+		for _, name := range []string{"fsync", "fsync-interval", "snapshot-every", "recover-concurrency"} {
 			if explicit[name] {
 				return fmt.Errorf("-%s has no effect without -data-dir (datasets are memory-only)", name)
 			}
@@ -286,8 +298,11 @@ func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHe
 
 // addDatasets parses "name[:kind]" specs and registers each dataset —
 // durable when dataDir is set, memory-only otherwise — optionally
-// preloaded with uniform keys. It returns the registered names.
-func addDatasets(s *server.Server, specs string, shards int, seed uint64, preload int, dataDir, fsync string, fsyncIvl time.Duration) ([]string, error) {
+// preloaded with uniform keys. Durable datasets recover concurrently
+// (bounded by recoverConc; 0 means GOMAXPROCS), so a daemon serving many
+// datasets boots in the time of its largest, not their sum. It returns the
+// registered names in spec order.
+func addDatasets(s *server.Server, specs string, shards int, seed uint64, preload int, dataDir, fsync string, fsyncIvl time.Duration, recoverConc int) ([]string, error) {
 	var policy server.SyncPolicy
 	if dataDir != "" {
 		var err error
@@ -295,33 +310,59 @@ func addDatasets(s *server.Server, specs string, shards int, seed uint64, preloa
 			return nil, err
 		}
 	}
-	var names []string
-	for _, spec := range strings.Split(specs, ",") {
-		spec = strings.TrimSpace(spec)
-		if spec == "" {
+	type spec struct{ name, kind string }
+	var list []spec
+	for _, raw := range strings.Split(specs, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
 			continue
 		}
-		name, kind, _ := strings.Cut(spec, ":")
+		name, kind, _ := strings.Cut(raw, ":")
 		if kind == "" {
 			kind = "unweighted"
 		}
 		if kind != "weighted" && kind != "unweighted" {
 			return nil, fmt.Errorf("dataset %q: unknown kind %q (want weighted or unweighted)", name, kind)
 		}
-		if dataDir == "" {
-			if err := addMemoryDataset(s, name, kind, shards, seed, preload); err != nil {
-				return nil, err
-			}
-			log.Printf("irsd: dataset %q (%s), %d shard target, preload %d", name, kind, shards, preload)
-		} else {
-			if err := addDurableDataset(s, name, kind, shards, seed, preload, dataDir, policy, fsyncIvl); err != nil {
-				return nil, err
-			}
-		}
-		names = append(names, name)
+		list = append(list, spec{name: name, kind: kind})
 	}
-	if len(names) == 0 {
+	if len(list) == 0 {
 		return nil, errors.New("no datasets configured")
+	}
+	names := make([]string, len(list))
+	for i, sp := range list {
+		names[i] = sp.name
+	}
+	if dataDir == "" {
+		for _, sp := range list {
+			if err := addMemoryDataset(s, sp.name, sp.kind, shards, seed, preload); err != nil {
+				return nil, err
+			}
+			log.Printf("irsd: dataset %q (%s), %d shard target, preload %d", sp.name, sp.kind, shards, preload)
+		}
+		return names, nil
+	}
+	// Recover durable datasets in parallel: each owns its directory, and
+	// dataset registration (core.add) is mutex-protected, so the only
+	// coordination needed is the concurrency bound.
+	if recoverConc <= 0 {
+		recoverConc = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, recoverConc)
+	errs := make([]error, len(list))
+	var wg sync.WaitGroup
+	for i, sp := range list {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = addDurableDataset(s, sp.name, sp.kind, shards, seed, preload, dataDir, policy, fsyncIvl)
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return names, nil
 }

@@ -1,8 +1,9 @@
-// Command irsload is the irsd load harness: it drives a live daemon's
-// sample path over the JSON, binary-HTTP, and persistent-TCP (irsnet)
-// encodings and reports end-to-end serving throughput, latency
-// percentiles, and client-side allocation rates — the serving-layer perf
-// trajectory BENCH_serving.json archives per commit.
+// Command irsload is the irsd load harness: it drives a live daemon over
+// the JSON, binary-HTTP, and persistent-TCP (irsnet) encodings and
+// reports end-to-end throughput, latency percentiles, and client-side
+// allocation rates — the serving-layer perf trajectory
+// BENCH_serving.json archives per commit, and the ingest trajectory
+// BENCH_ingest.json archives for the durable write path.
 //
 // Usage:
 //
@@ -11,6 +12,26 @@
 //	irsload -addr ... -encoding binary -mode open -rate 20000
 //	irsload -addr ... -encoding tcp -tcp-addr 127.0.0.1:<tcp-port>
 //	irsload -addr ... -tcp-addr ... -encoding all -json BENCH_serving.json
+//	irsload -addr ... -workload insert -acked-file /tmp/acked
+//
+// Three workloads:
+//
+//   - sample (default): every request samples t keys from [lo, hi].
+//   - insert: every request inserts t brand-new keys. Each worker owns a
+//     disjoint key range (worker w's keys live at (w+1)*1e12 + seq), so
+//     every inserted key is unique across workers, encodings, and the
+//     warm-up — which makes "keys recovered >= keys acknowledged" a valid
+//     crash-recovery check. -ensure preloading is skipped.
+//   - mixed: every 4th request per worker is an insert, the rest sample.
+//
+// With -acked-file the harness continuously publishes the cumulative
+// count of acknowledged inserted keys to that file (atomic
+// write-to-temp-then-rename, ~15x per second). Killing the daemon with
+// SIGKILL and comparing its recovered key count against the file is the
+// crash-durability smoke test CI runs: under -fsync always every
+// acknowledged key must survive.
+//
+// Insert and mixed workloads are closed-loop only.
 //
 // Two load models:
 //
@@ -40,7 +61,9 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/irsgo/irs/server"
@@ -53,6 +76,7 @@ import (
 type sampleClient interface {
 	Sample(ctx context.Context, dataset string, lo, hi float64, t int) ([]float64, error)
 	SampleAppend(ctx context.Context, dataset string, dst []float64, lo, hi float64, t int) ([]float64, error)
+	InsertKeys(ctx context.Context, dataset string, keys []float64) (int, error)
 }
 
 type latencySummary struct {
@@ -72,9 +96,15 @@ type encodingResult struct {
 	// Dropped counts open-loop arrivals the generator itself discarded
 	// because all in-flight slots were busy — generator saturation, not
 	// server backpressure.
-	Dropped       int            `json:"dropped_by_generator,omitempty"`
-	DurationSec   float64        `json:"duration_s"`
-	ThroughputRPS float64        `json:"throughput_rps"`
+	Dropped     int     `json:"dropped_by_generator,omitempty"`
+	DurationSec float64 `json:"duration_s"`
+	// Inserts counts the successful insert requests within Requests (0
+	// for the sample workload, all of them for insert).
+	Inserts       int     `json:"insert_requests,omitempty"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// SamplesPerSec is delivered samples/s for sample requests plus
+	// acknowledged keys/s for insert requests — the per-item throughput
+	// either way.
 	SamplesPerSec float64        `json:"samples_per_s"`
 	LatencyUS     latencySummary `json:"latency_us"`
 	MallocsPerOp  float64        `json:"client_mallocs_per_op"`
@@ -83,9 +113,11 @@ type encodingResult struct {
 // benchDoc is the BENCH_serving.json document.
 type benchDoc struct {
 	GeneratedAt time.Time        `json:"generated_at"`
+	Note        string           `json:"note,omitempty"`
 	Addr        string           `json:"addr"`
 	TCPAddr     string           `json:"tcp_addr,omitempty"`
 	Dataset     string           `json:"dataset,omitempty"`
+	Workload    string           `json:"workload"`
 	Mode        string           `json:"mode"`
 	Concurrency int              `json:"concurrency"`
 	RatePerSec  float64          `json:"rate_per_s,omitempty"` // open mode only
@@ -102,20 +134,23 @@ type benchDoc struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "base URL of a running irsd (required), e.g. http://127.0.0.1:8080")
-		tcpAddr  = flag.String("tcp-addr", "", "host:port of the daemon's -tcp-addr listener (required for -encoding tcp or all)")
-		dataset  = flag.String("dataset", "", "dataset name (empty = the daemon's sole dataset)")
-		encoding = flag.String("encoding", "both", "wire encoding to drive: json, binary, tcp, both (json+binary), or all")
-		mode     = flag.String("mode", "closed", "load model: closed (fixed concurrency) or open (fixed arrival rate)")
-		conc     = flag.Int("concurrency", 64, "closed-loop worker count (also bounds open-loop in-flight requests)")
-		rate     = flag.Float64("rate", 10_000, "open-loop arrival rate, requests/s")
-		tPer     = flag.Int("t", 256, "samples per request")
-		lo       = flag.Float64("lo", 0, "range lower bound")
-		hi       = flag.Float64("hi", 1e6, "range upper bound")
-		duration = flag.Duration("duration", 3*time.Second, "measured window per encoding")
-		warmup   = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per encoding")
-		ensure   = flag.Int("ensure", 100_000, "insert this many uniform keys first if the dataset is empty (0 skips)")
-		jsonPath = flag.String("json", "", "also write the structured results to this file")
+		addr      = flag.String("addr", "", "base URL of a running irsd (required), e.g. http://127.0.0.1:8080")
+		tcpAddr   = flag.String("tcp-addr", "", "host:port of the daemon's -tcp-addr listener (required for -encoding tcp or all)")
+		dataset   = flag.String("dataset", "", "dataset name (empty = the daemon's sole dataset)")
+		encoding  = flag.String("encoding", "both", "wire encoding to drive: json, binary, tcp, both (json+binary), or all")
+		workload  = flag.String("workload", "sample", "request mix: sample, insert (t new keys per request), or mixed (every 4th request inserts)")
+		mode      = flag.String("mode", "closed", "load model: closed (fixed concurrency) or open (fixed arrival rate)")
+		conc      = flag.Int("concurrency", 64, "closed-loop worker count (also bounds open-loop in-flight requests)")
+		rate      = flag.Float64("rate", 10_000, "open-loop arrival rate, requests/s")
+		tPer      = flag.Int("t", 256, "samples per request")
+		lo        = flag.Float64("lo", 0, "range lower bound")
+		hi        = flag.Float64("hi", 1e6, "range upper bound")
+		duration  = flag.Duration("duration", 3*time.Second, "measured window per encoding")
+		warmup    = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per encoding")
+		ensure    = flag.Int("ensure", 100_000, "insert this many uniform keys first if the dataset is empty (0 skips; always skipped for -workload insert)")
+		jsonPath  = flag.String("json", "", "also write the structured results to this file")
+		ackedFile = flag.String("acked-file", "", "continuously publish the acknowledged-insert key count to this file (atomic rename)")
+		note      = flag.String("note", "", "free-form annotation copied into the -json document")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -124,6 +159,14 @@ func main() {
 	}
 	if *mode != "closed" && *mode != "open" {
 		log.Fatalf("irsload: unknown -mode %q (want closed or open)", *mode)
+	}
+	switch *workload {
+	case "sample", "insert", "mixed":
+	default:
+		log.Fatalf("irsload: unknown -workload %q (want sample, insert, or mixed)", *workload)
+	}
+	if *workload != "sample" && *mode != "closed" {
+		log.Fatalf("irsload: -workload %s needs -mode closed (insert keys are per-worker sequences)", *workload)
 	}
 	var encodings []string
 	switch *encoding {
@@ -148,15 +191,27 @@ func main() {
 
 	ctx := context.Background()
 	cl := server.NewClient(*addr)
-	if err := ensurePopulated(ctx, cl, *dataset, *ensure, *lo, *hi); err != nil {
-		log.Fatalf("irsload: %v", err)
+	if *workload != "insert" {
+		// A pure-insert run makes its own data; preloading would only
+		// dilute the recovered-vs-acked crash check.
+		if err := ensurePopulated(ctx, cl, *dataset, *ensure, *lo, *hi); err != nil {
+			log.Fatalf("irsload: %v", err)
+		}
+	}
+
+	var acked atomic.Int64 // acknowledged inserted keys, cumulative
+	if *ackedFile != "" {
+		stop := publishAcked(*ackedFile, &acked)
+		defer stop()
 	}
 
 	doc := benchDoc{
 		GeneratedAt: time.Now().UTC(),
+		Note:        *note,
 		Addr:        *addr,
 		TCPAddr:     *tcpAddr,
 		Dataset:     *dataset,
+		Workload:    *workload,
 		Mode:        *mode,
 		Concurrency: *conc,
 		T:           *tPer,
@@ -178,14 +233,15 @@ func main() {
 			hcl.Binary = enc == "binary"
 			pcl = hcl
 		}
-		fmt.Printf("irsload: %s over %s, %s warm-up + %s measured...\n", *mode, enc, *warmup, *duration)
+		fmt.Printf("irsload: %s %s over %s, %s warm-up + %s measured...\n", *mode, *workload, enc, *warmup, *duration)
+		cfg := phase{dataset: *dataset, workload: *workload, lo: *lo, hi: *hi, t: *tPer, acked: &acked}
 		var res encodingResult
 		if *mode == "closed" {
-			closedLoop(ctx, pcl, *dataset, *lo, *hi, *tPer, *conc, *warmup) // warm-up, discarded
-			res = closedLoop(ctx, pcl, *dataset, *lo, *hi, *tPer, *conc, *duration)
+			closedLoop(ctx, pcl, cfg, *conc, *warmup) // warm-up, discarded
+			res = closedLoop(ctx, pcl, cfg, *conc, *duration)
 		} else {
-			openLoop(ctx, pcl, *dataset, *lo, *hi, *tPer, *conc, *rate, *warmup)
-			res = openLoop(ctx, pcl, *dataset, *lo, *hi, *tPer, *conc, *rate, *duration)
+			openLoop(ctx, pcl, cfg, *conc, *rate, *warmup)
+			res = openLoop(ctx, pcl, cfg, *conc, *rate, *duration)
 		}
 		res.Encoding, res.Mode = enc, *mode
 		doc.Results = append(doc.Results, res)
@@ -261,6 +317,78 @@ func ensurePopulated(ctx context.Context, cl *server.Client, dataset string, n i
 	return nil
 }
 
+// phase is one load phase's request shape, shared by both loops.
+type phase struct {
+	dataset  string
+	workload string // "sample", "insert", or "mixed"
+	lo, hi   float64
+	t        int           // samples per request / keys per insert
+	acked    *atomic.Int64 // cumulative acknowledged inserted keys
+}
+
+// nextWorkerID hands every spawned worker a process-unique ID, so insert
+// workers own disjoint key ranges across phases, encodings, and the
+// warm-up as well as within one loop.
+var nextWorkerID atomic.Int64
+
+// insertWorker generates one worker's endless unique-key insert batches:
+// worker w's n-th batch is the t keys (w+1)*1e12 + n*t .. +t-1. The +1
+// keeps worker keys clear of the [lo, hi) sampling range, and 1e12-sized
+// lanes stay exactly representable in float64 far past any run length.
+type insertWorker struct {
+	base float64
+	seq  int
+	keys []float64
+}
+
+func newInsertWorker(t int) *insertWorker {
+	return &insertWorker{base: float64(nextWorkerID.Add(1)) * 1e12, keys: make([]float64, 0, t)}
+}
+
+// next returns the worker's next batch of unique keys; the returned slice
+// is reused across calls.
+func (w *insertWorker) next(t int) []float64 {
+	w.keys = w.keys[:0]
+	start := w.seq * t
+	for j := 0; j < t; j++ {
+		w.keys = append(w.keys, w.base+float64(start+j))
+	}
+	w.seq++
+	return w.keys
+}
+
+// publishAcked keeps path updated with acked's current value via atomic
+// write-to-temp-then-rename, so a reader (the crash-recovery smoke test)
+// always sees a complete count that was acknowledged before it was
+// written. The returned stop func writes one final value.
+func publishAcked(path string, acked *atomic.Int64) (stop func()) {
+	write := func() {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(strconv.FormatInt(acked.Load(), 10)+"\n"), 0o644); err != nil {
+			return
+		}
+		_ = os.Rename(tmp, path)
+	}
+	write() // the file exists as soon as the flag is honored
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(75 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				write()
+			case <-done:
+				write()
+				return
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
+}
+
 // measure aggregates one phase's per-request observations.
 type measure struct {
 	mu       sync.Mutex
@@ -269,6 +397,7 @@ type measure struct {
 	errors   int
 	dropped  int
 	samples  int
+	inserts  int
 }
 
 func (m *measure) drop() {
@@ -288,6 +417,16 @@ func (m *measure) note(lat time.Duration, got int, err error) {
 	default:
 		m.lats = append(m.lats, lat)
 		m.samples += got
+	}
+}
+
+// noteInsert is note for a successful-or-not insert request.
+func (m *measure) noteInsert(lat time.Duration, got int, err error) {
+	m.note(lat, got, err)
+	if err == nil {
+		m.mu.Lock()
+		m.inserts++
+		m.mu.Unlock()
 	}
 }
 
@@ -315,6 +454,7 @@ func (m *measure) result(elapsed time.Duration, mallocs uint64) encodingResult {
 		Rejected:    m.rejected,
 		Errors:      m.errors,
 		Dropped:     m.dropped,
+		Inserts:     m.inserts,
 		DurationSec: elapsed.Seconds(),
 		LatencyUS:   latencySummary{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: pct(1)},
 	}
@@ -330,7 +470,7 @@ func (m *measure) result(elapsed time.Duration, mallocs uint64) encodingResult {
 }
 
 // closedLoop runs workers requesters back-to-back for dur and aggregates.
-func closedLoop(ctx context.Context, cl sampleClient, dataset string, lo, hi float64, t, workers int, dur time.Duration) encodingResult {
+func closedLoop(ctx context.Context, cl sampleClient, cfg phase, workers int, dur time.Duration) encodingResult {
 	// Pre-sized before the MemStats snapshot so m.lats growth (harness
 	// bookkeeping, not client work) stays out of MallocsPerOp.
 	m := measure{lats: make([]time.Duration, 0, 1<<20)}
@@ -343,11 +483,25 @@ func closedLoop(ctx context.Context, cl sampleClient, dataset string, lo, hi flo
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var ins *insertWorker
+			if cfg.workload != "sample" {
+				ins = newInsertWorker(cfg.t)
+			}
 			var buf []float64
 			var err error
-			for time.Now().Before(deadline) {
+			for req := 0; time.Now().Before(deadline); req++ {
+				if cfg.workload == "insert" || (cfg.workload == "mixed" && req%4 == 3) {
+					keys := ins.next(cfg.t)
+					s := time.Now()
+					_, err = cl.InsertKeys(ctx, cfg.dataset, keys)
+					m.noteInsert(time.Since(s), len(keys), err)
+					if err == nil {
+						cfg.acked.Add(int64(len(keys)))
+					}
+					continue
+				}
 				s := time.Now()
-				buf, err = cl.SampleAppend(ctx, dataset, buf[:0], lo, hi, t)
+				buf, err = cl.SampleAppend(ctx, cfg.dataset, buf[:0], cfg.lo, cfg.hi, cfg.t)
 				m.note(time.Since(s), len(buf), err)
 			}
 		}()
@@ -361,8 +515,10 @@ func closedLoop(ctx context.Context, cl sampleClient, dataset string, lo, hi flo
 // openLoop dispatches arrivals at rate req/s for dur, each on its own
 // goroutine, with at most maxInflight outstanding (arrivals past that
 // bound are counted as dropped_by_generator — the load generator itself
-// saturated, which is not server backpressure).
-func openLoop(ctx context.Context, cl sampleClient, dataset string, lo, hi float64, t, maxInflight int, rate float64, dur time.Duration) encodingResult {
+// saturated, which is not server backpressure). Open mode is
+// sample-only: insert workers carry per-worker key sequences, which a
+// goroutine-per-arrival model has no home for.
+func openLoop(ctx context.Context, cl sampleClient, cfg phase, maxInflight int, rate float64, dur time.Duration) encodingResult {
 	if rate <= 0 {
 		rate = 1
 	}
@@ -394,7 +550,7 @@ func openLoop(ctx context.Context, cl sampleClient, dataset string, lo, hi float
 			defer wg.Done()
 			defer func() { <-sem }()
 			s := time.Now()
-			out, err := cl.Sample(ctx, dataset, lo, hi, t)
+			out, err := cl.Sample(ctx, cfg.dataset, cfg.lo, cfg.hi, cfg.t)
 			m.note(time.Since(s), len(out), err)
 		}()
 	}

@@ -117,7 +117,7 @@ const frameHeader = 8
 var (
 	// ErrCorrupt reports a WAL frame or snapshot that fails its structural
 	// checks (bad length, CRC mismatch, undecodable payload).
-	ErrCorrupt = errors.New("persist: corrupt data")
+	ErrCorrupt  = errors.New("persist: corrupt data")
 	errShortKey = fmt.Errorf("%w: truncated key", ErrCorrupt)
 )
 
@@ -150,6 +150,14 @@ func appendRecord[K any](dst []byte, codec KeyCodec[K], rec Record[K]) ([]byte, 
 // It never panics on malformed input; every structural violation returns
 // an error wrapping ErrCorrupt (FuzzWALDecode enforces this).
 func decodeRecord[K any](codec KeyCodec[K], payload []byte) (Record[K], error) {
+	return decodeRecordInto(codec, payload, nil)
+}
+
+// decodeRecordInto is decodeRecord appending into entries — the recovery
+// hot path's spelling, so replaying a long WAL tail reuses one entries
+// backing across every record instead of allocating per record. The
+// returned Record's Entries aliases (the possibly-grown) entries.
+func decodeRecordInto[K any](codec KeyCodec[K], payload []byte, entries []Entry[K]) (Record[K], error) {
 	var rec Record[K]
 	if len(payload) < 5 {
 		return rec, fmt.Errorf("%w: payload too short", ErrCorrupt)
@@ -165,7 +173,10 @@ func decodeRecord[K any](codec KeyCodec[K], payload []byte) (Record[K], error) {
 	if int64(count) > int64(len(rest)) {
 		return rec, fmt.Errorf("%w: entry count %d exceeds payload", ErrCorrupt, count)
 	}
-	rec.Entries = make([]Entry[K], 0, count)
+	if cap(entries) < int(count) {
+		entries = make([]Entry[K], 0, count)
+	}
+	rec.Entries = entries
 	for i := uint32(0); i < count; i++ {
 		var e Entry[K]
 		var err error

@@ -82,11 +82,11 @@ func TestDecodeRecordRejectsMalformed(t *testing.T) {
 	bad := [][]byte{
 		nil,
 		{},
-		{byte(OpInsert)},                  // no count
-		{0, 0, 0, 0, 0},                   // op 0
-		{99, 1, 0, 0, 0},                  // unknown op
-		payload[:len(payload)-1],          // truncated last weight
-		payload[:len(payload)-9],          // truncated mid-entry
+		{byte(OpInsert)},         // no count
+		{0, 0, 0, 0, 0},          // op 0
+		{99, 1, 0, 0, 0},         // unknown op
+		payload[:len(payload)-1], // truncated last weight
+		payload[:len(payload)-9], // truncated mid-entry
 		append(append([]byte{}, payload...), 0xAB), // trailing byte
 	}
 	// Entry count far beyond the payload.

@@ -3,12 +3,14 @@ package persist
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // Dataset kinds recorded in snapshot headers, so a weighted dataset can
@@ -90,48 +92,78 @@ func writeSnapshotFile[K any](path string, codec KeyCodec[K], kind uint8, seq ui
 	return syncDir(filepath.Dir(path))
 }
 
-// readSnapshotFile loads and verifies a snapshot file.
+// readSnapshotFile loads and verifies a snapshot file, materializing its
+// entries.
 func readSnapshotFile[K any](path string, codec KeyCodec[K], wantKind uint8) (seq uint64, entries []Entry[K], err error) {
-	raw, err := os.ReadFile(path)
+	seq, _, err = readSnapshotStream(path, codec, wantKind,
+		func(count int) error {
+			entries = make([]Entry[K], 0, count)
+			return nil
+		},
+		func(e Entry[K]) error {
+			entries = append(entries, e)
+			return nil
+		})
 	if err != nil {
 		return 0, nil, err
 	}
+	return seq, entries, nil
+}
+
+// readSnapshotStream verifies a snapshot file (structure and CRC, before
+// anything reaches the callbacks) and streams its entries through entry in
+// key order; start, if non-nil, first announces the entry count so the
+// receiver can pre-size. Either callback may be nil. Callback errors abort
+// the read unchanged.
+func readSnapshotStream[K any](path string, codec KeyCodec[K], wantKind uint8, start func(count int) error, entry func(Entry[K]) error) (seq uint64, count int, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
 	if len(raw) < len(snapshotMagic)+17+4 || string(raw[:len(snapshotMagic)]) != snapshotMagic {
-		return 0, nil, fmt.Errorf("%w: %s: not a snapshot", ErrCorrupt, filepath.Base(path))
+		return 0, 0, fmt.Errorf("%w: %s: not a snapshot", ErrCorrupt, filepath.Base(path))
 	}
 	body, tail := raw[len(snapshotMagic):len(raw)-4], raw[len(raw)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return 0, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, filepath.Base(path))
+		return 0, 0, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, filepath.Base(path))
 	}
 	kind := body[0]
 	if kind != wantKind {
-		return 0, nil, fmt.Errorf("persist: %s holds a %s dataset, store opened as %s",
+		return 0, 0, fmt.Errorf("persist: %s holds a %s dataset, store opened as %s",
 			filepath.Base(path), kindName(kind), kindName(wantKind))
 	}
 	seq = binary.LittleEndian.Uint64(body[1:])
-	count := binary.LittleEndian.Uint64(body[9:])
+	n := binary.LittleEndian.Uint64(body[9:])
 	rest := body[17:]
-	if count > uint64(len(rest)) {
-		return 0, nil, fmt.Errorf("%w: %s: entry count exceeds file", ErrCorrupt, filepath.Base(path))
+	if n > uint64(len(rest)) {
+		return 0, 0, fmt.Errorf("%w: %s: entry count exceeds file", ErrCorrupt, filepath.Base(path))
 	}
-	entries = make([]Entry[K], 0, count)
-	for i := uint64(0); i < count; i++ {
+	if start != nil {
+		if err := start(int(n)); err != nil {
+			return 0, 0, err
+		}
+	}
+	for i := uint64(0); i < n; i++ {
 		var e Entry[K]
 		e.Key, rest, err = codec.Read(rest)
 		if err != nil {
-			return 0, nil, fmt.Errorf("%w: %s: entry %d: %v", ErrCorrupt, filepath.Base(path), i, err)
+			return 0, 0, fmt.Errorf("%w: %s: entry %d: %v", ErrCorrupt, filepath.Base(path), i, err)
 		}
 		if len(rest) < 8 {
-			return 0, nil, fmt.Errorf("%w: %s: entry %d: truncated weight", ErrCorrupt, filepath.Base(path), i)
+			return 0, 0, fmt.Errorf("%w: %s: entry %d: truncated weight", ErrCorrupt, filepath.Base(path), i)
 		}
 		e.Weight = math.Float64frombits(binary.LittleEndian.Uint64(rest))
 		rest = rest[8:]
-		entries = append(entries, e)
+		if entry != nil {
+			if err := entry(e); err != nil {
+				return 0, 0, err
+			}
+		}
 	}
 	if len(rest) != 0 {
-		return 0, nil, fmt.Errorf("%w: %s: trailing bytes", ErrCorrupt, filepath.Base(path))
+		return 0, 0, fmt.Errorf("%w: %s: trailing bytes", ErrCorrupt, filepath.Base(path))
 	}
-	return seq, entries, nil
+	return seq, int(n), nil
 }
 
 func kindName(kind uint8) string {
@@ -145,14 +177,18 @@ func kindName(kind uint8) string {
 	}
 }
 
-// syncDir fsyncs a directory so a just-renamed file survives a crash. Not
-// every platform supports it; failures there are ignored.
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+// Platforms that cannot fsync a directory report EINVAL or ENOTSUP; those
+// are tolerated. Any other failure is a real durability error and is
+// returned.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	_ = d.Sync()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
 	return nil
 }

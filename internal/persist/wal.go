@@ -70,10 +70,26 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	return seq, true
 }
 
+// File is the surface a WAL segment needs from its backing file. Stores
+// open segments through Options.OpenFile, so durability tests can inject a
+// file whose Sync blocks or fails — the seam the group-commit ACK tests
+// stand on. Production stores use *os.File.
+type File interface {
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+func defaultOpenFile(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}
+
 // walWriter is one open WAL segment: buffered appends with the frame codec,
 // synced per policy.
 type walWriter struct {
-	f     *os.File
+	f     File
 	bw    *bufio.Writer
 	size  int64 // bytes written (valid prefix + buffered)
 	dirty bool  // bytes not yet fsynced
@@ -82,9 +98,9 @@ type walWriter struct {
 // openSegment opens (creating if needed) the segment file for appending,
 // first truncating it to validLen — the readable prefix a prior replay
 // measured — so a torn tail from a crash never precedes new records.
-func openSegment(dir string, seq uint64, validLen int64) (*walWriter, error) {
+func openSegment(dir string, seq uint64, validLen int64, open func(string) (File, error)) (*walWriter, error) {
 	path := filepath.Join(dir, segmentName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +126,12 @@ func (w *walWriter) append(frame []byte) error {
 	return nil
 }
 
+// flush pushes buffered frames into the kernel without fsyncing — the
+// group-commit committer's first half, run under the store lock so it
+// never interleaves with a concurrent append. The fsync half runs outside
+// the lock.
+func (w *walWriter) flush() error { return w.bw.Flush() }
+
 // sync flushes buffered frames and fsyncs the file.
 func (w *walWriter) sync() error {
 	if !w.dirty {
@@ -134,12 +156,22 @@ func (w *walWriter) close() error {
 	return err
 }
 
+// replayScratch is the reusable decode state one recovery pass threads
+// through every segment it replays: the payload buffer and the record
+// entries backing are recycled from record to record, so a long WAL tail
+// replays without per-record allocation. The Record handed to fn aliases
+// this scratch and must not be retained across calls.
+type replayScratch[K any] struct {
+	payload []byte
+	entries []Entry[K]
+}
+
 // replaySegment streams the records of one segment file through fn, in
 // append order. It stops at the first frame that fails a structural check
 // and reports the length of the valid prefix and whether anything followed
 // it (a torn or corrupt tail); a missing file replays as empty. fn errors
 // abort the replay unchanged.
-func replaySegment[K any](path string, codec KeyCodec[K], fn func(Record[K]) error) (validLen int64, records int, torn bool, err error) {
+func replaySegment[K any](path string, codec KeyCodec[K], scratch *replayScratch[K], fn func(Record[K]) error) (validLen int64, records int, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -149,33 +181,33 @@ func replaySegment[K any](path string, codec KeyCodec[K], fn func(Record[K]) err
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
-	header := make([]byte, frameHeader)
-	var payload []byte
+	var header [frameHeader]byte
 	for {
-		if _, err := io.ReadFull(br, header); err != nil {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
 			// Clean EOF on a frame boundary ends the segment; anything else
 			// (partial header, read error) is a torn tail.
 			return validLen, records, err != io.EOF, nil
 		}
-		length := binary.LittleEndian.Uint32(header)
+		length := binary.LittleEndian.Uint32(header[:])
 		sum := binary.LittleEndian.Uint32(header[4:])
 		if length == 0 || length > maxFrame {
 			return validLen, records, true, nil
 		}
-		if cap(payload) < int(length) {
-			payload = make([]byte, length)
+		if cap(scratch.payload) < int(length) {
+			scratch.payload = make([]byte, length)
 		}
-		payload = payload[:length]
+		payload := scratch.payload[:length]
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return validLen, records, true, nil
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
 			return validLen, records, true, nil
 		}
-		rec, derr := decodeRecord(codec, payload)
+		rec, derr := decodeRecordInto(codec, payload, scratch.entries[:0])
 		if derr != nil {
 			return validLen, records, true, nil
 		}
+		scratch.entries = rec.Entries[:0]
 		if err := fn(rec); err != nil {
 			return validLen, records, false, err
 		}

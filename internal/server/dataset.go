@@ -2,6 +2,7 @@ package server
 
 import (
 	"cmp"
+	"sync"
 
 	"github.com/irsgo/irs/internal/shard"
 	"github.com/irsgo/irs/internal/weighted"
@@ -64,9 +65,13 @@ type Dataset[K cmp.Ordered] interface {
 	NewStream() *xrand.RNG
 }
 
-// unweightedDataset adapts *shard.Concurrent (= irs.Concurrent).
+// unweightedDataset adapts *shard.Concurrent (= irs.Concurrent). keyPool
+// recycles the key buffers InsertItems strips items into, so the durable
+// insert flush stays allocation-free end to end (InsertBatch does not
+// retain its argument).
 type unweightedDataset[K cmp.Ordered] struct {
-	c *shard.Concurrent[K]
+	c       *shard.Concurrent[K]
+	keyPool sync.Pool // *[]K
 }
 
 // NewUnweightedDataset wraps a Concurrent as a servable Dataset. Insert
@@ -84,11 +89,19 @@ func (d *unweightedDataset[K]) SampleManyAppend(dst []K, starts []int, queries [
 }
 
 func (d *unweightedDataset[K]) InsertItems(items []Item[K]) error {
-	keys := make([]K, len(items))
-	for i, it := range items {
-		keys[i] = it.Key
+	kp, _ := d.keyPool.Get().(*[]K)
+	if kp == nil {
+		kp = new([]K)
+	}
+	keys := (*kp)[:0]
+	for _, it := range items {
+		keys = append(keys, it.Key)
 	}
 	d.c.InsertBatch(keys)
+	if cap(keys) <= maxRetainedScratch {
+		*kp = keys[:0]
+		d.keyPool.Put(kp)
+	}
 	return nil
 }
 
@@ -109,8 +122,11 @@ func (d *unweightedDataset[K]) Weighted() bool          { return false }
 func (d *unweightedDataset[K]) NewStream() *xrand.RNG   { return d.c.NewStream() }
 
 // weightedDataset adapts *shard.WeightedConcurrent (= irs.WeightedConcurrent).
+// itemPool recycles the weighted-item buffers InsertItems converts into,
+// mirroring unweightedDataset's keyPool.
 type weightedDataset[K cmp.Ordered] struct {
-	w *shard.WeightedConcurrent[K]
+	w        *shard.WeightedConcurrent[K]
+	itemPool sync.Pool // *[]weighted.Item[K]
 }
 
 // NewWeightedDataset wraps a WeightedConcurrent as a servable Dataset.
@@ -127,11 +143,20 @@ func (d *weightedDataset[K]) SampleManyAppend(dst []K, starts []int, queries []s
 }
 
 func (d *weightedDataset[K]) InsertItems(items []Item[K]) error {
-	witems := make([]weighted.Item[K], len(items))
-	for i, it := range items {
-		witems[i] = weighted.Item[K]{Key: it.Key, Weight: it.Weight}
+	wp, _ := d.itemPool.Get().(*[]weighted.Item[K])
+	if wp == nil {
+		wp = new([]weighted.Item[K])
 	}
-	return d.w.InsertBatch(witems)
+	witems := (*wp)[:0]
+	for _, it := range items {
+		witems = append(witems, weighted.Item[K]{Key: it.Key, Weight: it.Weight})
+	}
+	err := d.w.InsertBatch(witems)
+	if cap(witems) <= maxRetainedScratch {
+		*wp = witems[:0]
+		d.itemPool.Put(wp)
+	}
+	return err
 }
 
 func (d *weightedDataset[K]) UpdateWeights(items []Item[K]) int {

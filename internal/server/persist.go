@@ -9,13 +9,16 @@ import (
 )
 
 // Durability: a dataset registered with AddDurable carries a
-// persist.Store. Every mutating path then appends a WAL record inside the
-// same coalesced flush that applies the mutation, holding the dataset's
-// log mutex across (append, apply) so the WAL's record order equals the
+// persist.Store. Every mutating path stages a WAL record inside the same
+// coalesced flush that applies the mutation, holding the dataset's log
+// mutex across (stage, apply) so the WAL's record order equals the
 // in-memory apply order — the property that makes replay reconstruct the
-// exact key/weight multiset. Because the WAL append rides the coalesced
-// InsertBatch flush, durability amortizes across concurrent clients
-// exactly like sampling does: one fsync covers a whole merged batch.
+// exact key/weight multiset. The fsync wait (store.WaitDurable) runs
+// after the log mutex is released: under SyncAlways the store's committer
+// amortizes one fsync across every batch staged since the previous flush
+// — across concurrent flushers — and each request is acknowledged only
+// once its covering fsync lands, so acknowledged-means-durable holds
+// while throughput scales with offered load instead of fsync latency.
 //
 // Snapshots (Core.Snapshot) rotate the WAL and export the dataset under
 // the same log mutex — a brief write pause, sampling unaffected — then
@@ -74,17 +77,29 @@ func (c *Core[K]) Update(name string, items []Item[K]) (int, error) {
 	return n, nil
 }
 
-// applyUpdate logs and applies one weight-update batch.
+// applyUpdate stages and applies one weight-update batch under the same
+// stage → apply → wait discipline as applyInsert.
 func (st *dsState[K]) applyUpdate(items []Item[K]) (int, error) {
 	if st.store == nil {
 		return st.ds.UpdateWeights(items), nil
 	}
+	sp := st.getEntries()
+	entries := appendEntries((*sp)[:0], items)
+	*sp = entries
 	st.logMu.Lock()
-	defer st.logMu.Unlock()
-	if err := st.store.LogUpdate(toEntries(items)); err != nil {
+	t, err := st.store.StageUpdate(entries)
+	if err != nil {
+		st.logMu.Unlock()
+		st.putEntries(sp)
 		return 0, logErr(err)
 	}
-	return st.ds.UpdateWeights(items), nil
+	n := st.ds.UpdateWeights(items)
+	st.logMu.Unlock()
+	st.putEntries(sp)
+	if err := st.store.WaitDurable(t); err != nil {
+		return 0, logErr(err)
+	}
+	return n, nil
 }
 
 // SnapshotInfo reports one committed snapshot.
@@ -119,52 +134,72 @@ func (c *Core[K]) Snapshot(name string) (SnapshotInfo, error) {
 	items := st.ds.ExportItems(nil)
 	st.logMu.Unlock()
 
-	if err := commit(toEntries(items)); err != nil {
+	if err := commit(appendEntries(nil, items)); err != nil {
 		return SnapshotInfo{}, err
 	}
 	return SnapshotInfo{Seq: seq, Items: len(items)}, nil
 }
 
+// ReplayApplier applies recovered WAL records to a Dataset one at a time,
+// reusing its conversion buffers across records — the streaming spelling
+// of Replay, fed directly from persist.OpenStream's record callback so a
+// long WAL tail replays without per-record allocation. The zero value is
+// ready to use; an applier serves one recovery at a time.
+type ReplayApplier[K cmp.Ordered] struct {
+	items []Item[K]
+	keys  []K
+}
+
+// Apply applies one recovered record. Weight updates are skipped on
+// unweighted datasets (they cannot be logged there either). rec.Entries is
+// only read during the call, so persist's reused decode buffers are safe
+// to pass through.
+func (ra *ReplayApplier[K]) Apply(ds Dataset[K], rec persist.Record[K]) error {
+	switch rec.Op {
+	case persist.OpInsert:
+		ra.items = ra.items[:0]
+		for _, e := range rec.Entries {
+			ra.items = append(ra.items, Item[K]{Key: e.Key, Weight: e.Weight})
+		}
+		return ds.InsertItems(ra.items)
+	case persist.OpDelete:
+		ra.keys = ra.keys[:0]
+		for _, e := range rec.Entries {
+			ra.keys = append(ra.keys, e.Key)
+		}
+		ds.DeleteKeys(ra.keys)
+	case persist.OpUpdate:
+		if !ds.Weighted() {
+			return nil
+		}
+		ra.items = ra.items[:0]
+		for _, e := range rec.Entries {
+			ra.items = append(ra.items, Item[K]{Key: e.Key, Weight: e.Weight})
+		}
+		ds.UpdateWeights(ra.items)
+	}
+	return nil
+}
+
 // Replay applies recovered WAL records to ds in append order. The caller
 // has already loaded the snapshot entries (typically through a bulk-load
-// constructor); Replay finishes the reconstruction. Weight updates are
-// skipped on unweighted datasets (they cannot be logged there either).
+// constructor); Replay finishes the reconstruction.
 func Replay[K cmp.Ordered](ds Dataset[K], records []persist.Record[K]) error {
+	var ra ReplayApplier[K]
 	for _, rec := range records {
-		switch rec.Op {
-		case persist.OpInsert:
-			items := make([]Item[K], len(rec.Entries))
-			for i, e := range rec.Entries {
-				items[i] = Item[K]{Key: e.Key, Weight: e.Weight}
-			}
-			if err := ds.InsertItems(items); err != nil {
-				return err
-			}
-		case persist.OpDelete:
-			keys := make([]K, len(rec.Entries))
-			for i, e := range rec.Entries {
-				keys[i] = e.Key
-			}
-			ds.DeleteKeys(keys)
-		case persist.OpUpdate:
-			if !ds.Weighted() {
-				continue
-			}
-			items := make([]Item[K], len(rec.Entries))
-			for i, e := range rec.Entries {
-				items[i] = Item[K]{Key: e.Key, Weight: e.Weight}
-			}
-			ds.UpdateWeights(items)
+		if err := ra.Apply(ds, rec); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// toEntries converts serving items to persistence entries.
-func toEntries[K cmp.Ordered](items []Item[K]) []persist.Entry[K] {
-	entries := make([]persist.Entry[K], len(items))
-	for i, it := range items {
-		entries[i] = persist.Entry[K]{Key: it.Key, Weight: it.Weight}
+// appendEntries converts serving items to persistence entries, appending
+// to dst — the allocation-free spelling every durable path encodes
+// through.
+func appendEntries[K cmp.Ordered](dst []persist.Entry[K], items []Item[K]) []persist.Entry[K] {
+	for _, it := range items {
+		dst = append(dst, persist.Entry[K]{Key: it.Key, Weight: it.Weight})
 	}
-	return entries
+	return dst
 }

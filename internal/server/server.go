@@ -136,14 +136,35 @@ type dsState[K cmp.Ordered] struct {
 	inserts  *coalescer[[]Item[K], int]
 	counters counters
 
-	// store is nil for memory-only datasets. logMu orders WAL appends
+	// store is nil for memory-only datasets. logMu orders WAL staging
 	// with the in-memory applies they mirror (held across both), and the
 	// snapshot protocol's rotate+export; snapMu serializes whole snapshot
-	// protocols (see persist.go).
-	store    *persist.Store[K]
-	logMu    sync.Mutex
-	snapMu   sync.Mutex
-	recovery persist.RecoveryStats
+	// protocols. The fsync wait happens outside logMu — the group-commit
+	// restructure (see persist.go). entryPool recycles the Entry buffers
+	// the non-coalesced durable paths (delete, update) encode through.
+	store     *persist.Store[K]
+	logMu     sync.Mutex
+	snapMu    sync.Mutex
+	recovery  persist.RecoveryStats
+	entryPool sync.Pool // *[]persist.Entry[K]
+}
+
+// getEntries borrows a reusable entries buffer (length 0) from the pool.
+func (st *dsState[K]) getEntries() *[]persist.Entry[K] {
+	if p, ok := st.entryPool.Get().(*[]persist.Entry[K]); ok {
+		return p
+	}
+	return new([]persist.Entry[K])
+}
+
+// putEntries returns a borrowed buffer, dropping ones an outsized batch
+// grew past the scratch bound.
+func (st *dsState[K]) putEntries(p *[]persist.Entry[K]) {
+	if cap(*p) > maxRetainedScratch {
+		return
+	}
+	*p = (*p)[:0]
+	st.entryPool.Put(p)
 }
 
 // NewCore returns an empty Core with the given knobs.
@@ -413,18 +434,20 @@ func (c *Core[K]) InsertAsync(name string, items []Item[K], done Reply[int]) err
 }
 
 // insertFlusher is one insert flush worker's private state: the reusable
-// concatenation buffer merged batches are assembled in, so the per-flush
-// cost is the backend call (and, on durable datasets, the WAL append), not
-// a fresh slice per flush.
+// concatenation buffer merged batches are assembled in plus the reusable
+// WAL-entry buffer they are encoded through, so a steady-state durable
+// flush performs no heap allocation of its own.
 type insertFlusher[K cmp.Ordered] struct {
-	st    *dsState[K]
-	items []Item[K]
+	st      *dsState[K]
+	items   []Item[K]
+	entries []persist.Entry[K]
 }
 
 // flush concatenates one coalesced batch of insert requests and stores it
 // with a single InsertBatch call — preceded, on durable datasets, by a
-// single WAL append covering the whole merged batch, so the fsync cost
-// amortizes across every coalesced request. The backend does not retain
+// single WAL staging covering the whole merged batch, so the group-commit
+// fsync cost amortizes across every coalesced request (and, through the
+// committer, across concurrent flushers too). The backend does not retain
 // the items slice, so the buffer is safe to reuse on the next flush.
 func (f *insertFlusher[K]) flush(batch []request[[]Item[K], int]) {
 	st := f.st
@@ -434,7 +457,7 @@ func (f *insertFlusher[K]) flush(batch []request[[]Item[K], int]) {
 		f.items = append(f.items, r.q...)
 	}
 	total := len(f.items)
-	err := st.applyInsert(f.items)
+	err := st.applyInsert(f.items, &f.entries)
 	if cap(f.items) > maxRetainedScratch {
 		f.items = nil
 	}
@@ -468,31 +491,63 @@ func (c *Core[K]) Delete(name string, keys []K) (int, error) {
 	return n, nil
 }
 
-// applyInsert logs (durable datasets) and applies one merged insert batch
-// under the durability order.
-func (st *dsState[K]) applyInsert(items []Item[K]) error {
+// applyInsert stages (durable datasets) and applies one merged insert
+// batch under the durability order: logMu covers exactly (stage, apply) —
+// assigning the batch its WAL position and mutating memory in the same
+// order — while the fsync wait runs after logMu is released, so a slow
+// disk flush never serializes other flushers behind this batch. The
+// caller's scratch buffer carries the encoded entries and is trimmed back
+// under the retention bound.
+func (st *dsState[K]) applyInsert(items []Item[K], scratch *[]persist.Entry[K]) error {
 	if st.store == nil {
 		return st.ds.InsertItems(items)
 	}
+	entries := appendEntries((*scratch)[:0], items)
+	if cap(entries) <= maxRetainedScratch {
+		*scratch = entries[:0]
+	} else {
+		*scratch = nil
+	}
 	st.logMu.Lock()
-	defer st.logMu.Unlock()
-	if err := st.store.LogInsert(toEntries(items)); err != nil {
+	t, err := st.store.StageInsert(entries)
+	if err != nil {
+		st.logMu.Unlock()
 		return logErr(err)
 	}
-	return st.ds.InsertItems(items)
+	err = st.ds.InsertItems(items)
+	st.logMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return logErr(st.store.WaitDurable(t))
 }
 
-// applyDelete logs (durable datasets) and applies one delete batch.
+// applyDelete stages (durable datasets) and applies one delete batch under
+// the same stage → apply → wait discipline as applyInsert.
 func (st *dsState[K]) applyDelete(keys []K) (int, error) {
 	if st.store == nil {
 		return st.ds.DeleteKeys(keys), nil
 	}
+	sp := st.getEntries()
+	entries := (*sp)[:0]
+	for _, k := range keys {
+		entries = append(entries, persist.Entry[K]{Key: k})
+	}
+	*sp = entries
 	st.logMu.Lock()
-	defer st.logMu.Unlock()
-	if err := st.store.LogDelete(keys); err != nil {
+	t, err := st.store.StageDelete(entries)
+	if err != nil {
+		st.logMu.Unlock()
+		st.putEntries(sp)
 		return 0, logErr(err)
 	}
-	return st.ds.DeleteKeys(keys), nil
+	n := st.ds.DeleteKeys(keys)
+	st.logMu.Unlock()
+	st.putEntries(sp)
+	if err := st.store.WaitDurable(t); err != nil {
+		return 0, logErr(err)
+	}
+	return n, nil
 }
 
 // logErr maps WAL append failures to the serving vocabulary: a store

@@ -15,15 +15,25 @@ import (
 // above which queries are answered by a pool of worker goroutines.
 const parallelQueryMin = parallelSampleMin
 
+// maxRetainedBatch bounds (in elements) the pooled sortable input copies
+// InsertBatch and DeleteBatch keep between calls; one outsized batch does
+// not pin its backing array forever.
+const maxRetainedBatch = 1 << 16
+
 // InsertBatch adds every item in items (duplicate keys allowed). The batch
 // is sorted once, segmented by shard, and each involved shard is
 // write-locked exactly once — the lock-amortization hot path for heavy
-// insert traffic. The input slice is not retained or modified.
+// insert traffic. The input slice is not retained or modified (sorting
+// happens in a pooled copy, so steady-state batches allocate nothing).
 func (c *engine[K, I, B]) InsertBatch(items []I) {
 	if len(items) == 0 {
 		return
 	}
-	own := append([]I(nil), items...)
+	buf, _ := c.itemBufs.Get().(*[]I)
+	if buf == nil {
+		buf = new([]I)
+	}
+	own := append((*buf)[:0], items...)
 	c.ops.sortItems(own)
 
 	c.topoMu.RLock()
@@ -39,6 +49,10 @@ func (c *engine[K, I, B]) InsertBatch(items []I) {
 		grow = grow || c.wantRebalance(sh)
 	})
 	c.topoMu.RUnlock()
+	if cap(own) <= maxRetainedBatch {
+		*buf = own[:0]
+		c.itemBufs.Put(buf)
+	}
 	if grow {
 		c.maybeRebalance()
 	}
@@ -50,7 +64,11 @@ func (c *engine[K, I, B]) DeleteBatch(keys []K) int {
 	if len(keys) == 0 {
 		return 0
 	}
-	own := append([]K(nil), keys...)
+	buf, _ := c.keyBufs.Get().(*[]K)
+	if buf == nil {
+		buf = new([]K)
+	}
+	own := append((*buf)[:0], keys...)
 	slices.Sort(own)
 
 	removed := 0
@@ -69,6 +87,10 @@ func (c *engine[K, I, B]) DeleteBatch(keys []K) int {
 		removed += got
 	})
 	c.topoMu.RUnlock()
+	if cap(own) <= maxRetainedBatch {
+		*buf = own[:0]
+		c.keyBufs.Put(buf)
+	}
 	return removed
 }
 

@@ -114,6 +114,8 @@ type engine[K cmp.Ordered, I any, B Backend[K, I]] struct {
 	rebalanceN  atomic.Int64 // total size at the last rebalance (rate limiter)
 	scratch     sync.Pool    // *queryScratch[K]
 	runPool     sync.Pool    // Run, for the per-shard parallel fan-out
+	itemBufs    sync.Pool    // *[]I, InsertBatch's sortable copy of the input
+	keyBufs     sync.Pool    // *[]K, DeleteBatch's sortable copy of the input
 
 	streamSeed uint64        // base seed of the NewStream sequence (stream.go)
 	streamCtr  atomic.Uint64 // streams handed out so far

@@ -136,6 +136,27 @@ func NewWeightedFromItems[K cmp.Ordered](items []weighted.Item[K], shards int, s
 	return w, nil
 }
 
+// NewWeightedFromSortedItems bulk-loads a WeightedConcurrent from items
+// already in non-decreasing key order, validating order and weights in one
+// pass and skipping NewWeightedFromItems' copy+sort — the recovery path
+// for snapshot exports, which are written in key order. Returns
+// weighted.ErrUnsortedItems if the order does not hold and
+// weighted.ErrInvalidWeight if any weight is negative, NaN, or infinite.
+// The input is not retained or modified.
+func NewWeightedFromSortedItems[K cmp.Ordered](items []weighted.Item[K], shards int, seed uint64) (*WeightedConcurrent[K], error) {
+	for i, it := range items {
+		if !weighted.ValidWeight(it.Weight) {
+			return nil, weighted.ErrInvalidWeight
+		}
+		if i > 0 && items[i-1].Key > it.Key {
+			return nil, weighted.ErrUnsortedItems
+		}
+	}
+	w := NewWeighted[K](shards, seed)
+	w.rebuildFromSorted(items, shards)
+	return w, nil
+}
+
 // NewWeightedFromSplits returns an empty WeightedConcurrent with fixed
 // routing at the given sorted split points (len(splits)+1 shards); the
 // layout is never changed automatically, exactly like

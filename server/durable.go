@@ -64,65 +64,123 @@ type DurableOptions struct {
 // The returned structure is the live dataset. Mutating it directly
 // bypasses the WAL — safe only before serving starts and only if followed
 // by Server.Snapshot (irsd's preload does exactly that).
+//
+// Recovery streams: snapshot entries flow straight into the engine's
+// sorted bulk-load constructor (no intermediate entry slice), and WAL tail
+// records replay through persist's reused decode buffer — so boot-time
+// memory is the dataset itself, not a second copy of it.
 func (s *Server) AddDurableUnweighted(name string, opts DurableOptions) (*irs.Concurrent[float64], Recovery, error) {
-	store, rec, err := persist.Open(opts.Dir, persist.Float64Keys(), persist.Options{
+	var (
+		keys []float64
+		c    *irs.Concurrent[float64]
+		ds   srv.Dataset[float64]
+		ra   srv.ReplayApplier[float64]
+	)
+	// Snapshot entries stream in key order before the first WAL record, so
+	// the structure bulk-loads sorted exactly once — at the first record,
+	// or after recovery if the tail is empty.
+	build := func() error {
+		var err error
+		c, err = irs.NewConcurrentFromSortedSeeded(keys, max(opts.Shards, 1), opts.Seed)
+		if err != nil {
+			return err
+		}
+		keys = nil
+		ds = srv.NewUnweightedDataset(c)
+		return nil
+	}
+	store, stats, err := persist.OpenStream(opts.Dir, persist.Float64Keys(), persist.Options{
 		Kind:         persist.KindUnweighted,
 		Sync:         opts.Sync,
 		SyncInterval: opts.SyncInterval,
+	}, persist.RecoverySink[float64]{
+		SnapshotStart: func(count int) error {
+			keys = make([]float64, 0, count)
+			return nil
+		},
+		SnapshotEntry: func(e persist.Entry[float64]) error {
+			keys = append(keys, e.Key)
+			return nil
+		},
+		Record: func(rec persist.Record[float64]) error {
+			if ds == nil {
+				if err := build(); err != nil {
+					return err
+				}
+			}
+			return ra.Apply(ds, rec)
+		},
 	})
 	if err != nil {
 		return nil, Recovery{}, err
 	}
-	keys := make([]float64, len(rec.Entries))
-	for i, e := range rec.Entries {
-		keys[i] = e.Key
+	if ds == nil {
+		if err := build(); err != nil {
+			store.Close()
+			return nil, Recovery{}, err
+		}
 	}
-	c, err := irs.NewConcurrentFromSortedSeeded(keys, max(opts.Shards, 1), opts.Seed)
-	if err != nil {
+	if err := s.core.AddDurable(name, ds, store, stats); err != nil {
 		store.Close()
 		return nil, Recovery{}, err
 	}
-	ds := srv.NewUnweightedDataset(c)
-	if err := srv.Replay(ds, rec.Records); err != nil {
-		store.Close()
-		return nil, Recovery{}, err
-	}
-	if err := s.core.AddDurable(name, ds, store, rec.Stats); err != nil {
-		store.Close()
-		return nil, Recovery{}, err
-	}
-	return c, rec.Stats, nil
+	return c, stats, nil
 }
 
 // AddDurableWeighted is AddDurableUnweighted for a weighted dataset:
 // weight updates are logged too, and recovery restores the exact
 // (key, weight) multiset.
 func (s *Server) AddDurableWeighted(name string, opts DurableOptions) (*irs.WeightedConcurrent[float64], Recovery, error) {
-	store, rec, err := persist.Open(opts.Dir, persist.Float64Keys(), persist.Options{
+	var (
+		items []weighted.Item[float64]
+		w     *irs.WeightedConcurrent[float64]
+		ds    srv.Dataset[float64]
+		ra    srv.ReplayApplier[float64]
+	)
+	build := func() error {
+		var err error
+		w, err = irs.NewWeightedConcurrentFromSortedItems(items, max(opts.Shards, 1), opts.Seed)
+		if err != nil {
+			return err
+		}
+		items = nil
+		ds = srv.NewWeightedDataset(w)
+		return nil
+	}
+	store, stats, err := persist.OpenStream(opts.Dir, persist.Float64Keys(), persist.Options{
 		Kind:         persist.KindWeighted,
 		Sync:         opts.Sync,
 		SyncInterval: opts.SyncInterval,
+	}, persist.RecoverySink[float64]{
+		SnapshotStart: func(count int) error {
+			items = make([]weighted.Item[float64], 0, count)
+			return nil
+		},
+		SnapshotEntry: func(e persist.Entry[float64]) error {
+			items = append(items, weighted.Item[float64]{Key: e.Key, Weight: e.Weight})
+			return nil
+		},
+		Record: func(rec persist.Record[float64]) error {
+			if ds == nil {
+				if err := build(); err != nil {
+					return err
+				}
+			}
+			return ra.Apply(ds, rec)
+		},
 	})
 	if err != nil {
 		return nil, Recovery{}, err
 	}
-	items := make([]weighted.Item[float64], len(rec.Entries))
-	for i, e := range rec.Entries {
-		items[i] = weighted.Item[float64]{Key: e.Key, Weight: e.Weight}
+	if ds == nil {
+		if err := build(); err != nil {
+			store.Close()
+			return nil, Recovery{}, err
+		}
 	}
-	w, err := irs.NewWeightedConcurrentFromItems(items, max(opts.Shards, 1), opts.Seed)
-	if err != nil {
+	if err := s.core.AddDurable(name, ds, store, stats); err != nil {
 		store.Close()
 		return nil, Recovery{}, err
 	}
-	ds := srv.NewWeightedDataset(w)
-	if err := srv.Replay(ds, rec.Records); err != nil {
-		store.Close()
-		return nil, Recovery{}, err
-	}
-	if err := s.core.AddDurable(name, ds, store, rec.Stats); err != nil {
-		store.Close()
-		return nil, Recovery{}, err
-	}
-	return w, rec.Stats, nil
+	return w, stats, nil
 }

@@ -26,6 +26,7 @@ import (
 // off the request frames.
 type Server struct {
 	backend *server.Server
+	opts    ServerOptions
 	names   internTable
 
 	mu     sync.Mutex
@@ -35,9 +36,31 @@ type Server struct {
 	wg     sync.WaitGroup // one count per live connection handler
 }
 
-// NewServer returns a Server answering requests from backend's datasets.
+// DefaultReadBufferSize is each connection's buffered-reader size when
+// ServerOptions leaves it zero.
+const DefaultReadBufferSize = 32 << 10
+
+// ServerOptions tunes per-connection resources.
+type ServerOptions struct {
+	// ReadBufferSize is the per-connection read buffer in bytes (default
+	// DefaultReadBufferSize). Few fat-insert connections amortize syscalls
+	// better with a bigger buffer; many mostly-idle connections waste less
+	// memory with a smaller one.
+	ReadBufferSize int
+}
+
+// NewServer returns a Server answering requests from backend's datasets
+// with default options.
 func NewServer(backend *server.Server) *Server {
-	s := &Server{backend: backend, conns: make(map[*conn]struct{})}
+	return NewServerOpts(backend, ServerOptions{})
+}
+
+// NewServerOpts is NewServer with explicit per-connection options.
+func NewServerOpts(backend *server.Server, opts ServerOptions) *Server {
+	if opts.ReadBufferSize <= 0 {
+		opts.ReadBufferSize = DefaultReadBufferSize
+	}
+	s := &Server{backend: backend, opts: opts, conns: make(map[*conn]struct{})}
 	s.names.m = make(map[string]string)
 	return s
 }
@@ -154,7 +177,7 @@ const maxRetainedRead = 1 << 20
 // readLoop decodes messages and dispatches them until the connection
 // fails, closes, or a malformed envelope desynchronizes the stream.
 func (c *conn) readLoop() {
-	br := bufio.NewReaderSize(c.nc, 32<<10)
+	br := bufio.NewReaderSize(c.nc, c.srv.opts.ReadBufferSize)
 	var hdr [reqHeaderSize]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -259,44 +282,57 @@ func (c *conn) send(buf *[]byte) {
 }
 
 // writeLoop drains the eventbox queue into the socket: every swapped
-// batch is written back to back and the stream flushed only when the
-// queue runs dry, so bursts of pipelined responses coalesce into few
-// syscalls. On a write error it keeps draining (recycling buffers so
+// batch goes out as one gathered write (net.Buffers → writev), so bursts
+// of pipelined responses cost one syscall with no intermediate copy — the
+// bufio writer this replaces copied every response into its own buffer
+// first. On a write error it keeps draining (recycling buffers so
 // producers never leak) but stops writing, and closes the socket to
 // unblock the reader.
 func (c *conn) writeLoop(done chan struct{}) {
 	defer close(done)
-	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	// iov is the reused backing array for the gathered write; sending is
+	// the value WriteTo is invoked on. It lives outside the loop because
+	// WriteTo's pointer receiver escapes into the poll layer's
+	// buffersWriter interface — hoisting it makes that one heap cell per
+	// connection instead of one allocation per batch.
+	var iov, sending net.Buffers
 	var spare []*[]byte
 	failed := false
-	fail := func() {
-		failed = true
-		_ = c.nc.Close()
-	}
 	for {
 		batch, closed := c.q.swap(spare[:0])
 		if len(batch) == 0 {
 			spare = batch
 			if closed {
-				if !failed {
-					_ = bw.Flush()
-				}
 				return
-			}
-			if !failed {
-				if err := bw.Flush(); err != nil {
-					fail()
-				}
 			}
 			<-c.q.wake
 			continue
 		}
-		for _, b := range batch {
-			if !failed {
-				if _, err := bw.Write(*b); err != nil {
-					fail()
+		if !failed {
+			var err error
+			if len(batch) == 1 {
+				// A lone response takes the plain-Write path: same one
+				// syscall, none of the iovec assembly.
+				_, err = c.nc.Write(*batch[0])
+			} else {
+				// Rebuild the iovec from index 0 each batch: WriteTo
+				// advances the slice it is invoked on (and consumes its
+				// entries in place), so only the backing array is
+				// reusable, never the advanced value.
+				iov = iov[:0]
+				for _, b := range batch {
+					iov = append(iov, *b)
 				}
+				sending = iov
+				_, err = sending.WriteTo(c.nc)
+				clear(iov) // drop references so pooled buffers are not pinned
 			}
+			if err != nil {
+				failed = true
+				_ = c.nc.Close()
+			}
+		}
+		for _, b := range batch {
 			wire.PutBuf(b)
 		}
 		spare = batch

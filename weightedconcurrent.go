@@ -48,6 +48,17 @@ func NewWeightedConcurrentFromItems[K cmp.Ordered](items []WeightedItem[K], shar
 	return shard.NewWeightedFromItems(items, shards, seed)
 }
 
+// NewWeightedConcurrentFromSortedItems bulk-loads a WeightedConcurrent
+// from items already in non-decreasing key order, validating order and
+// weights in one pass without copying or re-sorting — the fast path for
+// key-ordered inputs like recovered snapshots. Returns
+// ErrUnsortedWeightedItems if the order does not hold and
+// ErrInvalidWeight if any weight is negative, NaN, or infinite. The input
+// is not retained or modified.
+func NewWeightedConcurrentFromSortedItems[K cmp.Ordered](items []WeightedItem[K], shards int, seed uint64) (*WeightedConcurrent[K], error) {
+	return shard.NewWeightedFromSortedItems(items, shards, seed)
+}
+
 // NewWeightedConcurrentFromSplits returns an empty WeightedConcurrent with
 // fixed routing at the given sorted split points (len(splits)+1 shards):
 // shard i holds keys k with splits[i-1] <= k < splits[i], and the layout is
