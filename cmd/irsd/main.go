@@ -45,7 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -62,7 +62,25 @@ import (
 	"github.com/irsgo/irs/server/irsnet"
 )
 
+// version is the build identity reported by /stats, /metrics, and the
+// boot log; release builds stamp it with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/irsd
+var version = "dev"
+
 func main() { os.Exit(run()) }
+
+// newLogger builds the daemon's structured logger: slog text for humans
+// and grep, JSON for log pipelines. Operational logging goes through
+// this; the two machine-scraped stdout lines ("irsd: tcp on ...",
+// "irsd: serving on http://...", "irsd: drained, bye") stay plain
+// prints — wrappers parse them.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
 
 func run() int {
 	var (
@@ -86,6 +104,9 @@ func run() int {
 		fsyncIvl    = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
 		snapEvery   = flag.Duration("snapshot-every", 15*time.Minute, "background snapshot/compaction period for durable datasets (0 disables)")
 		recoverConc = flag.Int("recover-concurrency", 0, "durable datasets recovered in parallel at boot (0 = GOMAXPROCS)")
+
+		logFormat   = flag.String("log-format", "text", "structured log encoding: text or json")
+		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP address")
 	)
 	flag.Parse()
 
@@ -93,10 +114,14 @@ func run() int {
 	// a durability knob that silently does nothing is worse than an error.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if err := validateFlags(explicit, *dataDir, *fsync, *readHdrTimeout, *idleTimeout, *recoverConc, *tcpAddr, *tcpReadBuf); err != nil {
-		log.Printf("irsd: %v", err)
+	if err := validateFlags(explicit, *dataDir, *fsync, *readHdrTimeout, *idleTimeout, *recoverConc, *tcpAddr, *tcpReadBuf, *logFormat); err != nil {
+		// The logger's format flag may itself be the invalid one; text is
+		// always a safe spelling for the complaint.
+		newLogger("text").Error("invalid flags", "err", err)
 		return 2
 	}
+	logger := newLogger(*logFormat)
+	logger.Info("irsd starting", "version", version, "go", runtime.Version(), "pid", os.Getpid())
 
 	s := server.New(server.Config{
 		QueueDepth:     *queue,
@@ -104,17 +129,24 @@ func run() int {
 		CoalesceWindow: *window,
 		Flushers:       *flushers,
 	})
-	names, err := addDatasets(s, *datasets, *shards, *seed, *preload, *dataDir, *fsync, *fsyncIvl, *recoverConc)
+	s.SetVersion(version)
+	if *enablePprof {
+		s.EnablePprof()
+	}
+	names, err := addDatasets(s, logger, *datasets, *shards, *seed, *preload, *dataDir, *fsync, *fsyncIvl, *recoverConc)
 	if err != nil {
-		log.Printf("irsd: %v", err)
+		logger.Error("boot failed", "err", err)
 		// Datasets registered before the failing one may already hold open
 		// WALs (and a durable preload may have appended records): sync and
 		// close them instead of dropping the tail on the floor.
 		if cerr := s.Close(); cerr != nil {
-			log.Printf("irsd: close: %v", cerr)
+			logger.Error("close failed", "err", cerr)
 		}
 		return 1
 	}
+	// Boot recovery (and any preload) is complete: the daemon is ready the
+	// moment the listeners open. /readyz gates on exactly this.
+	s.SetReady()
 
 	// Background snapshots bound WAL replay time after a crash; each run
 	// compacts the segments it covers.
@@ -130,9 +162,9 @@ func run() int {
 				case <-t.C:
 					for _, name := range names {
 						if info, err := s.Snapshot(name); err != nil {
-							log.Printf("irsd: background snapshot %q: %v", name, err)
+							logger.Error("background snapshot failed", "dataset", name, "err", err)
 						} else {
-							log.Printf("irsd: snapshot %q: %d items, wal seq %d compacted", name, info.Items, info.Seq)
+							logger.Info("snapshot committed", "dataset", name, "items", info.Items, "wal_seq", info.Seq)
 						}
 					}
 				case <-snapStop:
@@ -146,13 +178,13 @@ func run() int {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Printf("irsd: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		close(snapStop)
 		<-snapDone
 		// Durable datasets already recovered (and possibly preloaded):
 		// sync and close their WALs even though serving never started.
 		if cerr := s.Close(); cerr != nil {
-			log.Printf("irsd: close: %v", cerr)
+			logger.Error("close failed", "err", cerr)
 		}
 		return 1
 	}
@@ -162,12 +194,12 @@ func run() int {
 	if *tcpAddr != "" {
 		tln, err = net.Listen("tcp", *tcpAddr)
 		if err != nil {
-			log.Printf("irsd: %v", err)
+			logger.Error("tcp listen failed", "addr", *tcpAddr, "err", err)
 			_ = ln.Close()
 			close(snapStop)
 			<-snapDone
 			if cerr := s.Close(); cerr != nil {
-				log.Printf("irsd: close: %v", cerr)
+				logger.Error("close failed", "err", cerr)
 			}
 			return 1
 		}
@@ -193,6 +225,8 @@ func run() int {
 	var tcpDone chan error // nil (never selected) when -tcp-addr is unset
 	if tln != nil {
 		tcpSrv = irsnet.NewServerOpts(s, irsnet.ServerOptions{ReadBufferSize: *tcpReadBuf})
+		// The TCP transport's connection and latency series join /metrics.
+		s.RegisterMetrics(tcpSrv)
 		tcpDone = make(chan error, 1)
 		go func() { tcpDone <- tcpSrv.Serve(tln) }()
 	}
@@ -205,20 +239,24 @@ func run() int {
 	// already read are answered and written, then the connections close.
 	// Safe to call after either Serve has already returned.
 	shutdownBoth := func() {
+		// Readiness drops the moment drain begins — before the listeners
+		// close — so orchestrators stop routing while in-flight requests
+		// still complete.
+		s.SetDraining()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			log.Printf("irsd: http shutdown: %v", err)
+			logger.Error("http shutdown failed", "err", err)
 		}
 		if tcpSrv != nil {
 			if err := tcpSrv.Shutdown(shutCtx); err != nil {
-				log.Printf("irsd: tcp shutdown: %v", err)
+				logger.Error("tcp shutdown failed", "err", err)
 			}
 		}
 	}
 	select {
 	case <-ctx.Done():
-		log.Printf("irsd: signal received, draining")
+		logger.Info("signal received, draining")
 		shutdownBoth()
 		serveErr = <-done
 		if tcpDone != nil {
@@ -239,11 +277,11 @@ func run() int {
 		serveErr = <-done
 	}
 	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
-		log.Printf("irsd: serve: %v", serveErr)
+		logger.Error("http serve failed", "err", serveErr)
 		exit = 1
 	}
 	if tcpErr != nil {
-		log.Printf("irsd: tcp serve: %v", tcpErr)
+		logger.Error("tcp serve failed", "err", tcpErr)
 		exit = 1
 	}
 	close(snapStop)
@@ -251,7 +289,7 @@ func run() int {
 	// Drain the coalescers (every accepted request is answered), then sync
 	// and close the WALs.
 	if err := s.Close(); err != nil {
-		log.Printf("irsd: close: %v", err)
+		logger.Error("close failed", "err", err)
 		if exit == 0 {
 			exit = 1
 		}
@@ -266,7 +304,10 @@ func run() int {
 // re-open the unbounded-connection hole the defaults exist to close.
 // explicit holds the flag names the user actually set on the command line
 // (flag.Visit), so defaults never trip the validation.
-func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHeaderTimeout, idleTimeout time.Duration, recoverConc int, tcpAddr string, tcpReadBuf int) error {
+func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHeaderTimeout, idleTimeout time.Duration, recoverConc int, tcpAddr string, tcpReadBuf int, logFormat string) error {
+	if logFormat != "text" && logFormat != "json" {
+		return fmt.Errorf("-log-format %q: want text or json", logFormat)
+	}
 	if readHeaderTimeout <= 0 {
 		return errors.New("-read-header-timeout must be positive (a zero http.Server timeout means no limit: any client trickling header bytes pins a connection forever)")
 	}
@@ -302,7 +343,7 @@ func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHe
 // (bounded by recoverConc; 0 means GOMAXPROCS), so a daemon serving many
 // datasets boots in the time of its largest, not their sum. It returns the
 // registered names in spec order.
-func addDatasets(s *server.Server, specs string, shards int, seed uint64, preload int, dataDir, fsync string, fsyncIvl time.Duration, recoverConc int) ([]string, error) {
+func addDatasets(s *server.Server, logger *slog.Logger, specs string, shards int, seed uint64, preload int, dataDir, fsync string, fsyncIvl time.Duration, recoverConc int) ([]string, error) {
 	var policy server.SyncPolicy
 	if dataDir != "" {
 		var err error
@@ -338,7 +379,7 @@ func addDatasets(s *server.Server, specs string, shards int, seed uint64, preloa
 			if err := addMemoryDataset(s, sp.name, sp.kind, shards, seed, preload); err != nil {
 				return nil, err
 			}
-			log.Printf("irsd: dataset %q (%s), %d shard target, preload %d", sp.name, sp.kind, shards, preload)
+			logger.Info("dataset registered", "dataset", sp.name, "kind", sp.kind, "shards", shards, "preload", preload)
 		}
 		return names, nil
 	}
@@ -357,7 +398,7 @@ func addDatasets(s *server.Server, specs string, shards int, seed uint64, preloa
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = addDurableDataset(s, sp.name, sp.kind, shards, seed, preload, dataDir, policy, fsyncIvl)
+			errs[i] = addDurableDataset(s, logger, sp.name, sp.kind, shards, seed, preload, dataDir, policy, fsyncIvl)
 		}()
 	}
 	wg.Wait()
@@ -401,7 +442,7 @@ func addMemoryDataset(s *server.Server, name, kind string, shards int, seed uint
 // nothing (a restart must not re-preload on top of recovered data); the
 // preload bypasses the WAL, so it is made durable by an immediate
 // snapshot — all before the listener starts.
-func addDurableDataset(s *server.Server, name, kind string, shards int, seed uint64, preload int, dataDir string, policy server.SyncPolicy, fsyncIvl time.Duration) error {
+func addDurableDataset(s *server.Server, logger *slog.Logger, name, kind string, shards int, seed uint64, preload int, dataDir string, policy server.SyncPolicy, fsyncIvl time.Duration) error {
 	opts := server.DurableOptions{
 		Dir:          filepath.Join(dataDir, name),
 		Sync:         policy,
@@ -448,12 +489,9 @@ func addDurableDataset(s *server.Server, name, kind string, shards int, seed uin
 		}
 		length = c.Len()
 	}
-	torn := ""
-	if recovered.TornTail {
-		torn = ", torn tail truncated"
-	}
-	log.Printf("irsd: dataset %q (%s, durable): recovered %d items (snapshot seq %d: %d items, %d WAL records replayed%s)",
-		name, kind, length, recovered.SnapshotSeq, recovered.SnapshotEntries, recovered.RecordsReplayed, torn)
+	logger.Info("dataset recovered", "dataset", name, "kind", kind, "items", length,
+		"snapshot_seq", recovered.SnapshotSeq, "snapshot_entries", recovered.SnapshotEntries,
+		"wal_records", recovered.RecordsReplayed, "torn_tail", recovered.TornTail)
 	return nil
 }
 

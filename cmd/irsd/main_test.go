@@ -28,31 +28,34 @@ func TestValidateFlags(t *testing.T) {
 		recoverConc int
 		tcpAddr     string
 		tcpReadBuf  int
+		logFormat   string
 		wantErr     bool
 	}{
-		{"defaults, memory-only", set(), "", "always", okTimeout, okTimeout, 0, "", 0, false},
-		{"defaults, durable", set("data-dir"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, false},
-		{"fsync without data-dir", set("fsync"), "", "none", okTimeout, okTimeout, 0, "", 0, true},
-		{"fsync-interval without data-dir", set("fsync-interval"), "", "always", okTimeout, okTimeout, 0, "", 0, true},
-		{"snapshot-every without data-dir", set("snapshot-every"), "", "always", okTimeout, okTimeout, 0, "", 0, true},
-		{"recover-concurrency without data-dir", set("recover-concurrency"), "", "always", okTimeout, okTimeout, 4, "", 0, true},
-		{"recover-concurrency with data-dir", set("data-dir", "recover-concurrency"), "/tmp/x", "always", okTimeout, okTimeout, 4, "", 0, false},
-		{"negative recover-concurrency", set("data-dir", "recover-concurrency"), "/tmp/x", "always", okTimeout, okTimeout, -1, "", 0, true},
-		{"fsync-interval under -fsync always", set("data-dir", "fsync-interval"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, true},
-		{"fsync-interval under -fsync none", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "none", okTimeout, okTimeout, 0, "", 0, true},
-		{"fsync-interval under -fsync interval", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "interval", okTimeout, okTimeout, 0, "", 0, false},
-		{"fsync interval without explicit interval flag", set("data-dir", "fsync"), "/tmp/x", "interval", okTimeout, okTimeout, 0, "", 0, false},
-		{"snapshot-every with data-dir", set("data-dir", "snapshot-every"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, false},
-		{"zero read-header-timeout", set(), "", "always", 0, okTimeout, 0, "", 0, true},
-		{"negative read-header-timeout", set(), "", "always", -time.Second, okTimeout, 0, "", 0, true},
-		{"zero idle-timeout", set(), "", "always", okTimeout, 0, 0, "", 0, true},
-		{"negative idle-timeout", set(), "", "always", okTimeout, -time.Minute, 0, "", 0, true},
-		{"tcp-read-buf without tcp-addr", set("tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "", 64 << 10, true},
-		{"tcp-read-buf with tcp-addr", set("tcp-addr", "tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "127.0.0.1:0", 64 << 10, false},
-		{"negative tcp-read-buf", set("tcp-addr", "tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "127.0.0.1:0", -1, true},
+		{"defaults, memory-only", set(), "", "always", okTimeout, okTimeout, 0, "", 0, "text", false},
+		{"defaults, durable", set("data-dir"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, "text", false},
+		{"fsync without data-dir", set("fsync"), "", "none", okTimeout, okTimeout, 0, "", 0, "text", true},
+		{"fsync-interval without data-dir", set("fsync-interval"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", true},
+		{"snapshot-every without data-dir", set("snapshot-every"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", true},
+		{"recover-concurrency without data-dir", set("recover-concurrency"), "", "always", okTimeout, okTimeout, 4, "", 0, "text", true},
+		{"recover-concurrency with data-dir", set("data-dir", "recover-concurrency"), "/tmp/x", "always", okTimeout, okTimeout, 4, "", 0, "text", false},
+		{"negative recover-concurrency", set("data-dir", "recover-concurrency"), "/tmp/x", "always", okTimeout, okTimeout, -1, "", 0, "text", true},
+		{"fsync-interval under -fsync always", set("data-dir", "fsync-interval"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, "text", true},
+		{"fsync-interval under -fsync none", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "none", okTimeout, okTimeout, 0, "", 0, "text", true},
+		{"fsync-interval under -fsync interval", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "interval", okTimeout, okTimeout, 0, "", 0, "text", false},
+		{"fsync interval without explicit interval flag", set("data-dir", "fsync"), "/tmp/x", "interval", okTimeout, okTimeout, 0, "", 0, "text", false},
+		{"snapshot-every with data-dir", set("data-dir", "snapshot-every"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, "text", false},
+		{"zero read-header-timeout", set(), "", "always", 0, okTimeout, 0, "", 0, "text", true},
+		{"negative read-header-timeout", set(), "", "always", -time.Second, okTimeout, 0, "", 0, "text", true},
+		{"zero idle-timeout", set(), "", "always", okTimeout, 0, 0, "", 0, "text", true},
+		{"negative idle-timeout", set(), "", "always", okTimeout, -time.Minute, 0, "", 0, "text", true},
+		{"tcp-read-buf without tcp-addr", set("tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "", 64 << 10, "text", true},
+		{"tcp-read-buf with tcp-addr", set("tcp-addr", "tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "127.0.0.1:0", 64 << 10, "text", false},
+		{"negative tcp-read-buf", set("tcp-addr", "tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "127.0.0.1:0", -1, "text", true},
+		{"log-format json", set("log-format"), "", "always", okTimeout, okTimeout, 0, "", 0, "json", false},
+		{"log-format unknown", set("log-format"), "", "always", okTimeout, okTimeout, 0, "", 0, "logfmt", true},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.explicit, tc.dataDir, tc.fsync, tc.readHdrTO, tc.idleTO, tc.recoverConc, tc.tcpAddr, tc.tcpReadBuf)
+		err := validateFlags(tc.explicit, tc.dataDir, tc.fsync, tc.readHdrTO, tc.idleTO, tc.recoverConc, tc.tcpAddr, tc.tcpReadBuf, tc.logFormat)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
 		}

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http/httptest"
 	"reflect"
 	"sort"
@@ -11,6 +13,11 @@ import (
 
 	"github.com/irsgo/irs/server"
 )
+
+// discardLogger silences boot logging in tests.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 // postJSON drives one mutation through the daemon's HTTP surface.
 func postJSON(t *testing.T, s *server.Server, path string, body any) {
@@ -45,7 +52,7 @@ type dsFingerprint struct {
 func bootFingerprints(t *testing.T, dir, specs string, recoverConc int) []dsFingerprint {
 	t.Helper()
 	s := server.New(server.Config{})
-	if _, err := addDatasets(s, specs, 2, 7, 0, dir, "always", 100*time.Millisecond, recoverConc); err != nil {
+	if _, err := addDatasets(s, discardLogger(), specs, 2, 7, 0, dir, "always", 100*time.Millisecond, recoverConc); err != nil {
 		t.Fatalf("boot (concurrency %d): %v", recoverConc, err)
 	}
 	defer func() {
@@ -81,7 +88,7 @@ func TestParallelRecoveryMatchesSerial(t *testing.T) {
 	names := []string{"a", "b", "c", "d", "e"}
 
 	seed := server.New(server.Config{})
-	if _, err := addDatasets(seed, specs, 2, 7, 0, dir, "always", 100*time.Millisecond, 2); err != nil {
+	if _, err := addDatasets(seed, discardLogger(), specs, 2, 7, 0, dir, "always", 100*time.Millisecond, 2); err != nil {
 		t.Fatalf("seeding boot: %v", err)
 	}
 	for i, name := range names {

@@ -48,6 +48,14 @@
 // cross-encoding throughput ratios, the headlines each wire format exists
 // for. Overloaded (503) responses count as rejected, not errors:
 // backpressure is a correct answer under load.
+//
+// With -curve "1000,2000,5000,..." the harness instead sweeps the open
+// load model across the given offered rates (sample workload only) and
+// emits one row per (encoding, rate): delivered throughput and
+// p50/p90/p99 latency — the latency-under-load curve BENCH_latency.json
+// archives per commit. Each step gets its own warm-up, and latency at a
+// step includes queueing, which is the point: the curve shows where the
+// knee is.
 package main
 
 import (
@@ -62,6 +70,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +119,13 @@ type encodingResult struct {
 	MallocsPerOp  float64        `json:"client_mallocs_per_op"`
 }
 
+// curvePoint is one step of the -curve sweep: an offered open-loop load
+// and what the daemon delivered at it.
+type curvePoint struct {
+	OfferedRPS float64 `json:"offered_rps"`
+	encodingResult
+}
+
 // benchDoc is the BENCH_serving.json document.
 type benchDoc struct {
 	GeneratedAt time.Time        `json:"generated_at"`
@@ -124,7 +140,10 @@ type benchDoc struct {
 	T           int              `json:"t"`
 	Lo          float64          `json:"lo"`
 	Hi          float64          `json:"hi"`
-	Results     []encodingResult `json:"results"`
+	Results     []encodingResult `json:"results,omitempty"`
+	// Curve holds the -curve sweep rows, ordered by encoding then offered
+	// rate; Results stays empty for a sweep run.
+	Curve []curvePoint `json:"curve,omitempty"`
 	// SpeedupBinaryOverJSON is binary-HTTP throughput / JSON throughput
 	// when both encodings ran; SpeedupTCPOverBinary is persistent-TCP
 	// throughput / binary-HTTP throughput likewise.
@@ -148,6 +167,7 @@ func main() {
 		duration  = flag.Duration("duration", 3*time.Second, "measured window per encoding")
 		warmup    = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warm-up per encoding")
 		ensure    = flag.Int("ensure", 100_000, "insert this many uniform keys first if the dataset is empty (0 skips; always skipped for -workload insert)")
+		curve     = flag.String("curve", "", "comma-separated offered loads (req/s) to sweep open-loop, e.g. 1000,5000,20000; emits throughput vs p50/p90/p99 per step")
 		jsonPath  = flag.String("json", "", "also write the structured results to this file")
 		ackedFile = flag.String("acked-file", "", "continuously publish the acknowledged-insert key count to this file (atomic rename)")
 		note      = flag.String("note", "", "free-form annotation copied into the -json document")
@@ -167,6 +187,26 @@ func main() {
 	}
 	if *workload != "sample" && *mode != "closed" {
 		log.Fatalf("irsload: -workload %s needs -mode closed (insert keys are per-worker sequences)", *workload)
+	}
+	var curveRates []float64
+	if *curve != "" {
+		if *workload != "sample" {
+			log.Fatalf("irsload: -curve needs -workload sample (the sweep is open-loop)")
+		}
+		for _, field := range strings.Split(*curve, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			r, err := strconv.ParseFloat(field, 64)
+			if err != nil || r <= 0 {
+				log.Fatalf("irsload: -curve step %q: want a positive offered rate in req/s", field)
+			}
+			curveRates = append(curveRates, r)
+		}
+		if len(curveRates) == 0 {
+			log.Fatal("irsload: -curve given but no rates parsed")
+		}
 	}
 	var encodings []string
 	switch *encoding {
@@ -221,6 +261,10 @@ func main() {
 	if *mode == "open" {
 		doc.RatePerSec = *rate
 	}
+	if len(curveRates) > 0 {
+		doc.Mode = "curve"
+		doc.RatePerSec = 0
+	}
 	for _, enc := range encodings {
 		var pcl sampleClient
 		switch enc {
@@ -233,8 +277,24 @@ func main() {
 			hcl.Binary = enc == "binary"
 			pcl = hcl
 		}
-		fmt.Printf("irsload: %s %s over %s, %s warm-up + %s measured...\n", *mode, *workload, enc, *warmup, *duration)
 		cfg := phase{dataset: *dataset, workload: *workload, lo: *lo, hi: *hi, t: *tPer, acked: &acked}
+		if len(curveRates) > 0 {
+			// The sweep climbs the offered-load ladder with a fresh warm-up
+			// per step, so each row's latency reflects steady state at that
+			// rate, queueing included.
+			for _, r := range curveRates {
+				fmt.Printf("irsload: curve %s @ %.0f req/s offered, %s warm-up + %s measured...\n", enc, r, *warmup, *duration)
+				openLoop(ctx, pcl, cfg, *conc, r, *warmup)
+				res := openLoop(ctx, pcl, cfg, *conc, r, *duration)
+				res.Encoding, res.Mode = enc, "open"
+				doc.Curve = append(doc.Curve, curvePoint{OfferedRPS: r, encodingResult: res})
+				fmt.Printf("  delivered %.0f req/s (%d rejected, %d errors, %d dropped): p50=%.0fus p90=%.0fus p99=%.0fus\n",
+					res.ThroughputRPS, res.Rejected, res.Errors, res.Dropped,
+					res.LatencyUS.P50, res.LatencyUS.P90, res.LatencyUS.P99)
+			}
+			continue
+		}
+		fmt.Printf("irsload: %s %s over %s, %s warm-up + %s measured...\n", *mode, *workload, enc, *warmup, *duration)
 		var res encodingResult
 		if *mode == "closed" {
 			closedLoop(ctx, pcl, cfg, *conc, *warmup) // warm-up, discarded
@@ -275,6 +335,11 @@ func main() {
 	for _, r := range doc.Results {
 		if r.Errors > 0 {
 			os.Exit(1) // a red harness run must fail CI
+		}
+	}
+	for _, p := range doc.Curve {
+		if p.Errors > 0 {
+			os.Exit(1)
 		}
 	}
 }

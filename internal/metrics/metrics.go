@@ -1,0 +1,187 @@
+// Package metrics provides the zero-dependency instrumentation
+// primitives behind irsd's /metrics endpoint: atomic counters and
+// gauges, and fixed-bucket log-scale histograms.
+//
+// Everything here is built for the serving hot path: recording is a
+// handful of atomic adds — no locks, no allocation, no branches on
+// shared state — and each instrument is padded out to its own cache
+// line so two instruments touched by different cores never false-share.
+// Scrapes pay the cost instead: a snapshot walks the buckets with
+// atomic loads and the Prometheus text rendering (prom.go) allocates
+// freely, on the scraper's goroutine, without ever stalling a writer.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// pad fills the remainder of a 64-byte cache line after an 8-byte
+// atomic word, so adjacent instruments in a struct don't false-share.
+type pad [56]byte
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Uint64
+	_ pad
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value. The zero value is ready to
+// use.
+type Gauge struct {
+	v atomic.Int64
+	_ pad
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to v if v is larger than the current value.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram bucket layout. Both histogram kinds use power-of-two
+// buckets: bucket i holds observations v with 2^(i-1) < v <= 2^i
+// (bucket 0 holds v <= 1, the last bucket is the +Inf overflow).
+// Log-scale buckets keep the array small — durationBuckets spans 1µs
+// to ~33s in 26 counters — while bounding the relative quantile error
+// at 2x, which is plenty to tell a 100µs fsync from a 10ms one.
+const (
+	durationBuckets = 26 // 1µs, 2µs, ... 2^25µs (~33.5s), then +Inf
+	sizeBuckets     = 17 // 1, 2, 4, ... 65536, then +Inf
+)
+
+// bucketIndex returns the log2 bucket for v: the smallest i with
+// v <= 2^i, clamped to [0, n]. Index n is the +Inf overflow bucket.
+func bucketIndex(v uint64, n int) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(v - 1) // v <= 2^i for i = Len64(v-1)
+	if i > n {
+		return n
+	}
+	return i
+}
+
+// DurationHistogram counts observations in log-scale microsecond
+// buckets. The zero value is ready to use.
+type DurationHistogram struct {
+	count   atomic.Uint64
+	_       pad
+	sumNS   atomic.Uint64
+	_       pad
+	buckets [durationBuckets + 1]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *DurationHistogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	h.buckets[bucketIndex(us, durationBuckets)].Add(1)
+	h.sumNS.Add(uint64(d))
+	h.count.Add(1)
+}
+
+// Snapshot returns a consistent-enough copy for rendering: cumulative
+// bucket counts, the sum in seconds, and the total count. Snapshots
+// race benignly with writers (a concurrent Observe may be half
+// visible); Prometheus scrapes tolerate that.
+func (h *DurationHistogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Les = durationLes[:]
+	s.Cum = make([]uint64, durationBuckets+1)
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		s.Cum[i] = cum
+	}
+	s.Count = cum
+	s.Sum = float64(h.sumNS.Load()) / 1e9
+	return s
+}
+
+// SizeHistogram counts dimensionless sizes (batch lengths, record
+// counts) in log-scale buckets. The zero value is ready to use.
+type SizeHistogram struct {
+	count   atomic.Uint64
+	_       pad
+	sum     atomic.Uint64
+	_       pad
+	buckets [sizeBuckets + 1]atomic.Uint64
+}
+
+// Observe records one size.
+func (h *SizeHistogram) Observe(n uint64) {
+	h.buckets[bucketIndex(n, sizeBuckets)].Add(1)
+	h.sum.Add(n)
+	h.count.Add(1)
+}
+
+// Snapshot returns cumulative bucket counts, sum, and count, as for
+// DurationHistogram.Snapshot.
+func (h *SizeHistogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Les = sizeLes[:]
+	s.Cum = make([]uint64, sizeBuckets+1)
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		s.Cum[i] = cum
+	}
+	s.Count = cum
+	s.Sum = float64(h.sum.Load())
+	return s
+}
+
+// HistSnapshot is a rendered-ready histogram state. Les holds the
+// upper bounds of the finite buckets (Cum has one extra trailing
+// element: the +Inf bucket, which by construction equals Count).
+type HistSnapshot struct {
+	Les   []float64
+	Cum   []uint64
+	Sum   float64
+	Count uint64
+}
+
+// Upper-bound tables, computed once. Durations render in seconds
+// (Prometheus convention) even though the buckets are microsecond
+// powers of two.
+var (
+	durationLes [durationBuckets]float64
+	sizeLes     [sizeBuckets]float64
+)
+
+func init() {
+	for i := range durationLes {
+		durationLes[i] = float64(uint64(1)<<i) / 1e6
+	}
+	for i := range sizeLes {
+		sizeLes[i] = float64(uint64(1) << i)
+	}
+}

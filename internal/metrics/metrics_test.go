@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"bufio"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 16, 16}, {1<<16 + 1, 17}, {1 << 25, 25}, {1<<25 + 1, 26},
+		{math.MaxUint64, 26},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v, 26); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDurationHistogramSnapshot(t *testing.T) {
+	var h DurationHistogram
+	h.Observe(500 * time.Nanosecond) // rounds to 0µs -> bucket 0
+	h.Observe(1 * time.Microsecond)  // bucket 0
+	h.Observe(3 * time.Microsecond)  // bucket 2 (le 4µs)
+	h.Observe(1 * time.Hour)         // overflow
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if len(s.Cum) != len(s.Les)+1 {
+		t.Fatalf("cum has %d entries for %d les", len(s.Cum), len(s.Les))
+	}
+	if s.Cum[0] != 2 {
+		t.Errorf("<=1µs bucket = %d, want 2", s.Cum[0])
+	}
+	if s.Cum[1] != 2 {
+		t.Errorf("<=2µs bucket = %d, want 2", s.Cum[1])
+	}
+	if s.Cum[2] != 3 {
+		t.Errorf("<=4µs bucket = %d, want 3", s.Cum[2])
+	}
+	if last := s.Cum[len(s.Cum)-1]; last != 4 {
+		t.Errorf("+Inf bucket = %d, want 4", last)
+	}
+	wantSum := (500*time.Nanosecond + time.Microsecond + 3*time.Microsecond + time.Hour).Seconds()
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	// Cumulative counts never decrease.
+	for i := 1; i < len(s.Cum); i++ {
+		if s.Cum[i] < s.Cum[i-1] {
+			t.Fatalf("cum not monotone at %d: %v", i, s.Cum)
+		}
+	}
+}
+
+func TestSizeHistogramSnapshot(t *testing.T) {
+	var h SizeHistogram
+	for n := uint64(1); n <= 100; n++ {
+		h.Observe(n)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Fatalf("sum = %v, want 5050", s.Sum)
+	}
+	if s.Cum[6] != 64 { // le 64 covers 1..64
+		t.Errorf("<=64 bucket = %d, want 64", s.Cum[6])
+	}
+	if s.Cum[7] != 100 { // le 128 covers everything
+		t.Errorf("<=128 bucket = %d, want 100", s.Cum[7])
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("after SetMax(5), SetMax(3): %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("after SetMax(9): %d", got)
+	}
+}
+
+// TestRecordingAllocFree pins the hot-path recording operations at
+// zero allocations: these run inside the serving fast paths that the
+// server-level AllocsPerRun tests pin end to end.
+func TestRecordingAllocFree(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var dh DurationHistogram
+	var sh SizeHistogram
+	n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-1)
+		g.SetMax(12)
+		dh.Observe(123 * time.Microsecond)
+		sh.Observe(42)
+	})
+	if n != 0 {
+		t.Fatalf("recording allocates %v allocs/op, want 0", n)
+	}
+}
+
+func TestBuilderOutput(t *testing.T) {
+	var dh DurationHistogram
+	dh.Observe(3 * time.Microsecond)
+	b := NewBuilder(nil)
+	b.Family("irsd_up", "Whether irsd is up.", "gauge")
+	b.Val("irsd_up", 1)
+	b.Family("irsd_requests_total", "Requests with \"quotes\" and \\slashes\nand newlines.", "counter")
+	b.Val("irsd_requests_total", 42, "dataset", `de"mo\x`, "path", "sample")
+	b.Family("irsd_req_seconds", "Latency.", "histogram")
+	b.Histogram("irsd_req_seconds", dh.Snapshot(), "encoding", "json")
+	out := string(b.Bytes())
+
+	for _, want := range []string{
+		"# HELP irsd_up Whether irsd is up.\n# TYPE irsd_up gauge\nirsd_up 1\n",
+		`irsd_requests_total{dataset="de\"mo\\x",path="sample"} 42` + "\n",
+		"Requests with \"quotes\" and \\\\slashes\\nand newlines.",
+		`irsd_req_seconds_bucket{encoding="json",le="1e-06"} 0` + "\n",
+		`irsd_req_seconds_bucket{encoding="json",le="4e-06"} 1` + "\n",
+		`irsd_req_seconds_bucket{encoding="json",le="+Inf"} 1` + "\n",
+		`irsd_req_seconds_sum{encoding="json"} 3e-06` + "\n",
+		`irsd_req_seconds_count{encoding="json"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\nfull output:\n%s", want, out)
+		}
+	}
+	validateExposition(t, out)
+}
+
+// validateExposition runs a line-level structural check of the text
+// exposition format: every non-comment line is `name{labels} value`,
+// every sample's base name was declared by a preceding # TYPE, and a
+// family's samples are contiguous (no interleaving).
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	declared := map[string]string{} // family -> type
+	done := map[string]bool{}       // family finished (another family started after it)
+	current := ""
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := parts[2], parts[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("bad type %q in %q", typ, line)
+			}
+			if declared[name] != "" {
+				t.Fatalf("family %q declared twice", name)
+			}
+			declared[name] = typ
+			if current != "" {
+				done[current] = true
+			}
+			current = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value  |  name value
+		name := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("unbalanced braces: %q", line)
+			}
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && declared[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if declared[base] == "" {
+			t.Fatalf("sample %q has no preceding # TYPE", name)
+		}
+		if base != current {
+			if done[base] {
+				t.Fatalf("family %q interleaved: sample after family closed", base)
+			}
+			t.Fatalf("sample %q outside its family block (current %q)", name, current)
+		}
+		fields := strings.Fields(line)
+		val := fields[len(fields)-1]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("unparseable value %q in %q", val, line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+)
+
+// Builder appends Prometheus text exposition format (version 0.0.4)
+// to a byte slice. All samples for one metric family must be emitted
+// under a single Family call — Prometheus rejects exposition where a
+// name's samples are split across groups.
+//
+// Builder is not safe for concurrent use; each scrape builds its own.
+type Builder struct {
+	b []byte
+}
+
+// NewBuilder returns a Builder writing into dst (may be nil).
+func NewBuilder(dst []byte) *Builder { return &Builder{b: dst} }
+
+// Bytes returns the accumulated exposition text.
+func (w *Builder) Bytes() []byte { return w.b }
+
+// Family emits the # HELP and # TYPE header for a metric family.
+// typ is "counter", "gauge", or "histogram".
+func (w *Builder) Family(name, help, typ string) {
+	w.b = append(w.b, "# HELP "...)
+	w.b = append(w.b, name...)
+	w.b = append(w.b, ' ')
+	w.b = appendEscaped(w.b, help, false)
+	w.b = append(w.b, "\n# TYPE "...)
+	w.b = append(w.b, name...)
+	w.b = append(w.b, ' ')
+	w.b = append(w.b, typ...)
+	w.b = append(w.b, '\n')
+}
+
+// Val emits one sample line: name{labels...} value. Labels are
+// alternating key, value pairs.
+func (w *Builder) Val(name string, value float64, labels ...string) {
+	w.b = append(w.b, name...)
+	w.b = appendLabels(w.b, labels, "", 0)
+	w.b = append(w.b, ' ')
+	w.b = appendFloat(w.b, value)
+	w.b = append(w.b, '\n')
+}
+
+// Histogram emits the _bucket/_sum/_count series for one histogram
+// with the given base labels.
+func (w *Builder) Histogram(name string, s HistSnapshot, labels ...string) {
+	for i, le := range s.Les {
+		w.b = append(w.b, name...)
+		w.b = append(w.b, "_bucket"...)
+		w.b = appendLabels(w.b, labels, "le", le)
+		w.b = append(w.b, ' ')
+		w.b = strconv.AppendUint(w.b, s.Cum[i], 10)
+		w.b = append(w.b, '\n')
+	}
+	w.b = append(w.b, name...)
+	w.b = append(w.b, "_bucket"...)
+	w.b = appendLabels(w.b, labels, "+Inf", 0)
+	w.b = append(w.b, ' ')
+	w.b = strconv.AppendUint(w.b, s.Count, 10)
+	w.b = append(w.b, '\n')
+
+	w.b = append(w.b, name...)
+	w.b = append(w.b, "_sum"...)
+	w.b = appendLabels(w.b, labels, "", 0)
+	w.b = append(w.b, ' ')
+	w.b = appendFloat(w.b, s.Sum)
+	w.b = append(w.b, '\n')
+
+	w.b = append(w.b, name...)
+	w.b = append(w.b, "_count"...)
+	w.b = appendLabels(w.b, labels, "", 0)
+	w.b = append(w.b, ' ')
+	w.b = strconv.AppendUint(w.b, s.Count, 10)
+	w.b = append(w.b, '\n')
+}
+
+// appendLabels renders {k="v",...}, optionally with a trailing le
+// label. leKey is "" (no le), "le" (numeric bound), or "+Inf".
+func appendLabels(b []byte, labels []string, leKey string, le float64) []byte {
+	if len(labels) == 0 && leKey == "" {
+		return b
+	}
+	b = append(b, '{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, labels[i]...)
+		b = append(b, '=', '"')
+		b = appendEscaped(b, labels[i+1], true)
+		b = append(b, '"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `le="`...)
+		if leKey == "+Inf" {
+			b = append(b, "+Inf"...)
+		} else {
+			b = appendFloat(b, le)
+		}
+		b = append(b, '"')
+	}
+	return append(b, '}')
+}
+
+// appendEscaped escapes backslash and newline (plus double-quote in
+// label values) per the exposition format.
+func appendEscaped(b []byte, s string, labelValue bool) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '"':
+			if labelValue {
+				b = append(b, '\\', '"')
+			} else {
+				b = append(b, c)
+			}
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

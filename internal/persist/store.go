@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/irsgo/irs/internal/metrics"
 )
 
 // ErrClosed reports an operation on a closed Store.
@@ -95,6 +97,19 @@ type StoreStats struct {
 // appends; a pathological batch can grow it, but it shrinks back after.
 const maxRetainedEncode = 1 << 20
 
+// StoreMetrics holds a Store's histogram instruments: fsync latency and
+// the number of records each group commit covered. Recording is atomic
+// and allocation-free; the serving layer snapshots them on /metrics
+// scrapes.
+type StoreMetrics struct {
+	// FsyncSeconds times every WAL fsync (group commits, interval
+	// syncs, and explicit Syncs alike).
+	FsyncSeconds metrics.DurationHistogram
+	// CommitRecords counts how many staged records each completed
+	// group commit covered — the amortization factor of the committer.
+	CommitRecords metrics.SizeHistogram
+}
+
 // Ticket identifies one staged record in a Store's WAL order; pass it to
 // WaitDurable to block until the record's covering fsync lands. The zero
 // Ticket is always durable.
@@ -165,7 +180,12 @@ type Store[K cmp.Ordered] struct {
 	syncs     atomic.Uint64
 	snapshots atomic.Uint64
 	lastSnap  atomic.Uint64
+
+	metrics StoreMetrics
 }
+
+// Metrics returns the store's histogram instruments for scraping.
+func (s *Store[K]) Metrics() *StoreMetrics { return &s.metrics }
 
 // Open recovers the dataset directory (creating it if absent) and returns
 // the store with its active WAL segment open for appending, plus the
@@ -520,6 +540,7 @@ func (s *Store[K]) commitOnce() {
 	f := s.wal.f
 	s.mu.Unlock()
 
+	syncStart := time.Now()
 	if err := f.Sync(); err != nil {
 		// If the segment rotated or the store closed while we were
 		// syncing, the rotation path already fsynced (and published) the
@@ -533,6 +554,8 @@ func (s *Store[K]) commitOnce() {
 		}
 		return
 	}
+	s.metrics.FsyncSeconds.Observe(time.Since(syncStart))
+	s.metrics.CommitRecords.Observe(seq - already)
 	s.syncs.Add(1)
 	s.publish(seq)
 }
@@ -585,12 +608,14 @@ func (s *Store[K]) Sync() error {
 		s.publish(seq)
 		return nil
 	}
+	syncStart := time.Now()
 	err := s.wal.sync()
 	s.mu.Unlock()
 	if err != nil {
 		s.fail(err)
 		return err
 	}
+	s.metrics.FsyncSeconds.Observe(time.Since(syncStart))
 	s.syncs.Add(1)
 	s.publish(seq)
 	return nil

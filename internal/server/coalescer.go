@@ -135,6 +135,14 @@ func (c *coalescer[Q, R]) putBatch(b *batch[Q, R]) {
 	c.batchPool.Put(b)
 }
 
+// depth reports how many accepted requests are waiting in the queue
+// right now — a channel length read, safe from any goroutine, which is
+// what /metrics scrapes as the live queue depth.
+func (c *coalescer[Q, R]) depth() int { return len(c.reqs) }
+
+// capacity reports the queue bound (Config.QueueDepth).
+func (c *coalescer[Q, R]) capacity() int { return cap(c.reqs) }
+
 // submit enqueues q and blocks until its batch is flushed. Every accepted
 // request is answered exactly once, including requests still queued when
 // close begins (close drains before returning).

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"sort"
+
+	"github.com/irsgo/irs/internal/metrics"
+)
+
+// AppendMetrics renders the core's full Prometheus exposition into dst
+// and returns it: per-dataset serving counters, coalescer queue state
+// and flush-size histograms, and — for durable datasets — WAL, fsync,
+// snapshot, and recovery series. It runs entirely on the scraper's
+// goroutine with atomic loads; hot paths never block on a scrape.
+//
+// All samples of one family render contiguously (the exposition format
+// requires it), so each family loops the sorted dataset list.
+func (c *Core[K]) AppendMetrics(dst []byte) []byte {
+	c.mu.RLock()
+	states := make([]*dsState[K], 0, len(c.byName))
+	for _, st := range c.byName {
+		states = append(states, st)
+	}
+	c.mu.RUnlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].name < states[j].name })
+
+	b := metrics.NewBuilder(dst)
+
+	// Dataset topology.
+	b.Family("irsd_dataset_items", "Items currently stored in the dataset.", "gauge")
+	for _, st := range states {
+		b.Val("irsd_dataset_items", float64(st.ds.Stats().Len), "dataset", st.name)
+	}
+	b.Family("irsd_dataset_shards", "Shards backing the dataset.", "gauge")
+	for _, st := range states {
+		b.Val("irsd_dataset_shards", float64(st.ds.Stats().Shards), "dataset", st.name)
+	}
+
+	// Request counters, one family per series name.
+	counterFamilies := []struct {
+		name string
+		help string
+		load func(*counters) uint64
+	}{
+		{"irsd_dataset_sample_requests_total", "Sample requests admitted.", func(c *counters) uint64 { return c.sampleRequests.Load() }},
+		{"irsd_dataset_sample_rejected_total", "Sample requests rejected by backpressure.", func(c *counters) uint64 { return c.sampleRejected.Load() }},
+		{"irsd_dataset_sample_batches_total", "Backend SampleMany calls (coalesced flushes).", func(c *counters) uint64 { return c.sampleBatches.Load() }},
+		{"irsd_dataset_samples_returned_total", "Individual samples returned.", func(c *counters) uint64 { return c.samplesReturned.Load() }},
+		{"irsd_dataset_insert_requests_total", "Insert requests admitted.", func(c *counters) uint64 { return c.insertRequests.Load() }},
+		{"irsd_dataset_insert_rejected_total", "Insert requests rejected by backpressure.", func(c *counters) uint64 { return c.insertRejected.Load() }},
+		{"irsd_dataset_insert_batches_total", "Backend InsertBatch calls (coalesced flushes).", func(c *counters) uint64 { return c.insertBatches.Load() }},
+		{"irsd_dataset_items_inserted_total", "Items inserted.", func(c *counters) uint64 { return c.itemsInserted.Load() }},
+		{"irsd_dataset_delete_requests_total", "Delete requests.", func(c *counters) uint64 { return c.deleteRequests.Load() }},
+		{"irsd_dataset_keys_deleted_total", "Keys deleted.", func(c *counters) uint64 { return c.keysDeleted.Load() }},
+		{"irsd_dataset_update_requests_total", "Weight-update requests.", func(c *counters) uint64 { return c.updateRequests.Load() }},
+		{"irsd_dataset_keys_updated_total", "Keys whose weight was updated.", func(c *counters) uint64 { return c.keysUpdated.Load() }},
+	}
+	for _, fam := range counterFamilies {
+		b.Family(fam.name, fam.help, "counter")
+		for _, st := range states {
+			b.Val(fam.name, float64(fam.load(&st.counters)), "dataset", st.name)
+		}
+	}
+
+	// Coalescer state, labelled by path.
+	b.Family("irsd_coalescer_queue_depth", "Requests waiting in the coalescer queue.", "gauge")
+	for _, st := range states {
+		b.Val("irsd_coalescer_queue_depth", float64(st.samples.depth()), "dataset", st.name, "path", "sample")
+		b.Val("irsd_coalescer_queue_depth", float64(st.inserts.depth()), "dataset", st.name, "path", "insert")
+	}
+	b.Family("irsd_coalescer_queue_capacity", "Bound of the coalescer queue (Config.QueueDepth).", "gauge")
+	for _, st := range states {
+		b.Val("irsd_coalescer_queue_capacity", float64(st.samples.capacity()), "dataset", st.name, "path", "sample")
+		b.Val("irsd_coalescer_queue_capacity", float64(st.inserts.capacity()), "dataset", st.name, "path", "insert")
+	}
+	b.Family("irsd_coalescer_max_coalesced", "Largest flush batch observed.", "gauge")
+	for _, st := range states {
+		b.Val("irsd_coalescer_max_coalesced", float64(st.counters.maxCoalesced.Load()), "dataset", st.name, "path", "sample")
+		b.Val("irsd_coalescer_max_coalesced", float64(st.counters.insertMaxCoalesced.Load()), "dataset", st.name, "path", "insert")
+	}
+	b.Family("irsd_coalescer_ratio", "Requests served per backend call (requests/batches) over the process lifetime.", "gauge")
+	for _, st := range states {
+		b.Val("irsd_coalescer_ratio", ratio(st.counters.sampleRequests.Load(), st.counters.sampleBatches.Load()), "dataset", st.name, "path", "sample")
+		b.Val("irsd_coalescer_ratio", ratio(st.counters.insertRequests.Load(), st.counters.insertBatches.Load()), "dataset", st.name, "path", "insert")
+	}
+	b.Family("irsd_coalescer_flush_batch_size", "Coalesced requests per backend flush.", "histogram")
+	for _, st := range states {
+		b.Histogram("irsd_coalescer_flush_batch_size", st.counters.sampleBatchSizes.Snapshot(), "dataset", st.name, "path", "sample")
+		b.Histogram("irsd_coalescer_flush_batch_size", st.counters.insertBatchSizes.Snapshot(), "dataset", st.name, "path", "insert")
+	}
+
+	// Durability. Families render samples only for durable datasets; a
+	// memory-only deployment gets the headers and no series.
+	durable := states[:0:0]
+	for _, st := range states {
+		if st.store != nil {
+			durable = append(durable, st)
+		}
+	}
+	walFamilies := []struct {
+		name string
+		help string
+		typ  string
+		load func(s *dsState[K]) float64
+	}{
+		{"irsd_wal_records_total", "WAL records appended.", "counter", func(s *dsState[K]) float64 { return float64(s.store.Stats().Records) }},
+		{"irsd_wal_entries_total", "Entries across appended WAL records.", "counter", func(s *dsState[K]) float64 { return float64(s.store.Stats().Entries) }},
+		{"irsd_wal_bytes_total", "Bytes appended to the WAL.", "counter", func(s *dsState[K]) float64 { return float64(s.store.Stats().Bytes) }},
+		{"irsd_wal_syncs_total", "WAL fsync calls.", "counter", func(s *dsState[K]) float64 { return float64(s.store.Stats().Syncs) }},
+		{"irsd_wal_size_bytes", "Bytes in the active WAL segment.", "gauge", func(s *dsState[K]) float64 { return float64(s.store.Stats().WALSize) }},
+		{"irsd_wal_active_segment", "Sequence number of the segment being appended.", "gauge", func(s *dsState[K]) float64 { return float64(s.store.Stats().ActiveSegment) }},
+		{"irsd_wal_sync_error", "1 when the store has a sticky durability failure.", "gauge", func(s *dsState[K]) float64 {
+			if s.store.Err() != nil {
+				return 1
+			}
+			return 0
+		}},
+		{"irsd_snapshots_total", "Snapshots committed.", "counter", func(s *dsState[K]) float64 { return float64(s.store.Stats().Snapshots) }},
+		{"irsd_snapshot_last_seq", "WAL sequence covered by the newest snapshot.", "gauge", func(s *dsState[K]) float64 { return float64(s.store.Stats().LastSnapshotSeq) }},
+		{"irsd_recovery_records_replayed", "WAL records replayed at boot.", "gauge", func(s *dsState[K]) float64 { return float64(s.recovery.RecordsReplayed) }},
+		{"irsd_recovery_snapshot_entries", "Entries loaded from the boot snapshot.", "gauge", func(s *dsState[K]) float64 { return float64(s.recovery.SnapshotEntries) }},
+		{"irsd_recovery_torn_tail", "1 when boot recovery truncated a torn WAL tail.", "gauge", func(s *dsState[K]) float64 {
+			if s.recovery.TornTail {
+				return 1
+			}
+			return 0
+		}},
+	}
+	for _, fam := range walFamilies {
+		b.Family(fam.name, fam.help, fam.typ)
+		for _, st := range durable {
+			b.Val(fam.name, fam.load(st), "dataset", st.name)
+		}
+	}
+	b.Family("irsd_wal_fsync_duration_seconds", "WAL fsync latency.", "histogram")
+	for _, st := range durable {
+		b.Histogram("irsd_wal_fsync_duration_seconds", st.store.Metrics().FsyncSeconds.Snapshot(), "dataset", st.name)
+	}
+	b.Family("irsd_wal_commit_batch_records", "Staged records covered per group commit.", "histogram")
+	for _, st := range durable {
+		b.Histogram("irsd_wal_commit_batch_records", st.store.Metrics().CommitRecords.Snapshot(), "dataset", st.name)
+	}
+	b.Family("irsd_snapshot_duration_seconds", "Full snapshot protocol duration (rotate, export, serialize, compact).", "histogram")
+	for _, st := range durable {
+		b.Histogram("irsd_snapshot_duration_seconds", st.counters.snapshotSeconds.Snapshot(), "dataset", st.name)
+	}
+
+	return b.Bytes()
+}
+
+// ratio returns requests/batches, or 0 before the first batch.
+func ratio(requests, batches uint64) float64 {
+	if batches == 0 {
+		return 0
+	}
+	return float64(requests) / float64(batches)
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"cmp"
 	"errors"
+	"time"
 
 	"github.com/irsgo/irs/internal/persist"
 	"github.com/irsgo/irs/internal/weighted"
@@ -124,6 +125,7 @@ func (c *Core[K]) Snapshot(name string) (SnapshotInfo, error) {
 	}
 	st.snapMu.Lock()
 	defer st.snapMu.Unlock()
+	start := time.Now()
 
 	st.logMu.Lock()
 	seq, commit, err := st.store.BeginSnapshot()
@@ -137,6 +139,7 @@ func (c *Core[K]) Snapshot(name string) (SnapshotInfo, error) {
 	if err := commit(appendEntries(nil, items)); err != nil {
 		return SnapshotInfo{}, err
 	}
+	st.counters.snapshotSeconds.Observe(time.Since(start))
 	return SnapshotInfo{Seq: seq, Items: len(items)}, nil
 }
 

@@ -451,7 +451,7 @@ type insertFlusher[K cmp.Ordered] struct {
 // the items slice, so the buffer is safe to reuse on the next flush.
 func (f *insertFlusher[K]) flush(batch []request[[]Item[K], int]) {
 	st := f.st
-	st.counters.insertBatches.Add(1)
+	st.counters.noteInsertBatch(len(batch))
 	f.items = f.items[:0]
 	for _, r := range batch {
 		f.items = append(f.items, r.q...)

@@ -1,41 +1,56 @@
 package server
 
 import (
-	"sync/atomic"
-
+	"github.com/irsgo/irs/internal/metrics"
 	"github.com/irsgo/irs/internal/persist"
 )
 
 // counters is the live per-dataset instrumentation, updated atomically on
-// every request path so /stats never takes a lock a hot path contends on.
+// every request path so /stats and /metrics never take a lock a hot path
+// contends on. Each instrument is cache-line padded (see internal/metrics)
+// so the sample and insert paths don't false-share counters.
 type counters struct {
-	sampleRequests  atomic.Uint64
-	sampleRejected  atomic.Uint64
-	sampleBatches   atomic.Uint64
-	samplesReturned atomic.Uint64
-	maxCoalesced    atomic.Uint64
+	sampleRequests  metrics.Counter
+	sampleRejected  metrics.Counter
+	sampleBatches   metrics.Counter
+	samplesReturned metrics.Counter
+	maxCoalesced    metrics.Gauge
 
-	insertRequests atomic.Uint64
-	insertRejected atomic.Uint64
-	insertBatches  atomic.Uint64
-	itemsInserted  atomic.Uint64
+	insertRequests     metrics.Counter
+	insertRejected     metrics.Counter
+	insertBatches      metrics.Counter
+	itemsInserted      metrics.Counter
+	insertMaxCoalesced metrics.Gauge
 
-	deleteRequests atomic.Uint64
-	keysDeleted    atomic.Uint64
+	deleteRequests metrics.Counter
+	keysDeleted    metrics.Counter
 
-	updateRequests atomic.Uint64
-	keysUpdated    atomic.Uint64
+	updateRequests metrics.Counter
+	keysUpdated    metrics.Counter
+
+	// Flush-batch-size histograms: how many coalesced requests each
+	// backend call carried, per path. Their means are the live
+	// coalescing ratios.
+	sampleBatchSizes metrics.SizeHistogram
+	insertBatchSizes metrics.SizeHistogram
+
+	// snapshotSeconds times each full snapshot protocol (rotate, export,
+	// serialize, compact).
+	snapshotSeconds metrics.DurationHistogram
 }
 
 // noteSampleBatch records one flushed sample batch of n coalesced requests.
 func (c *counters) noteSampleBatch(n int) {
-	c.sampleBatches.Add(1)
-	for {
-		cur := c.maxCoalesced.Load()
-		if uint64(n) <= cur || c.maxCoalesced.CompareAndSwap(cur, uint64(n)) {
-			return
-		}
-	}
+	c.sampleBatches.Inc()
+	c.sampleBatchSizes.Observe(uint64(n))
+	c.maxCoalesced.SetMax(int64(n))
+}
+
+// noteInsertBatch records one flushed insert batch of n coalesced requests.
+func (c *counters) noteInsertBatch(n int) {
+	c.insertBatches.Inc()
+	c.insertBatchSizes.Observe(uint64(n))
+	c.insertMaxCoalesced.SetMax(int64(n))
 }
 
 // DatasetStats is a point-in-time snapshot of one dataset's serving
@@ -77,8 +92,18 @@ type PersistStats struct {
 	Recovery persist.RecoveryStats `json:"recovery"`
 }
 
+// ServerInfo is the process-identity slice of Stats: build version, Go
+// toolchain, and uptime. The core leaves it zero; the transport layer
+// that knows the process identity (package server) fills it in.
+type ServerInfo struct {
+	Version       string  `json:"version,omitempty"`
+	GoVersion     string  `json:"go_version,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+}
+
 // Stats is the full serving snapshot, one entry per dataset in name order.
 type Stats struct {
+	Server   ServerInfo     `json:"server"`
 	Datasets []DatasetStats `json:"datasets"`
 }
 
@@ -100,7 +125,7 @@ func (st *dsState[K]) snapshot() DatasetStats {
 		SampleRejected:  c.sampleRejected.Load(),
 		SampleBatches:   c.sampleBatches.Load(),
 		SamplesReturned: c.samplesReturned.Load(),
-		MaxCoalesced:    c.maxCoalesced.Load(),
+		MaxCoalesced:    uint64(c.maxCoalesced.Load()),
 
 		InsertRequests: c.insertRequests.Load(),
 		InsertRejected: c.insertRejected.Load(),

@@ -31,6 +31,9 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) { return persist.ParseSyncPol
 // Recovery describes what booting a durable dataset reconstructed.
 type Recovery = persist.RecoveryStats
 
+// File is the WAL segment file abstraction (see DurableOptions.OpenFile).
+type File = persist.File
+
 // SnapshotInfo reports one committed snapshot.
 type SnapshotInfo = srv.SnapshotInfo
 
@@ -50,6 +53,11 @@ type DurableOptions struct {
 	// like the seeded in-memory constructors. Never influences the
 	// sampling distribution.
 	Seed uint64
+	// OpenFile opens (creating if needed) a WAL segment file. Nil means
+	// the OS filesystem. Tests inject files whose reads or syncs block
+	// or fail to exercise slow-recovery readiness gating and the
+	// group-commit durability contract.
+	OpenFile func(path string) (File, error)
 }
 
 // AddDurableUnweighted recovers the unweighted dataset persisted in
@@ -70,6 +78,7 @@ type DurableOptions struct {
 // records replay through persist's reused decode buffer — so boot-time
 // memory is the dataset itself, not a second copy of it.
 func (s *Server) AddDurableUnweighted(name string, opts DurableOptions) (*irs.Concurrent[float64], Recovery, error) {
+	begin := time.Now()
 	var (
 		keys []float64
 		c    *irs.Concurrent[float64]
@@ -93,6 +102,7 @@ func (s *Server) AddDurableUnweighted(name string, opts DurableOptions) (*irs.Co
 		Kind:         persist.KindUnweighted,
 		Sync:         opts.Sync,
 		SyncInterval: opts.SyncInterval,
+		OpenFile:     opts.OpenFile,
 	}, persist.RecoverySink[float64]{
 		SnapshotStart: func(count int) error {
 			keys = make([]float64, 0, count)
@@ -124,6 +134,7 @@ func (s *Server) AddDurableUnweighted(name string, opts DurableOptions) (*irs.Co
 		store.Close()
 		return nil, Recovery{}, err
 	}
+	s.noteRecovery(name, time.Since(begin))
 	return c, stats, nil
 }
 
@@ -131,6 +142,7 @@ func (s *Server) AddDurableUnweighted(name string, opts DurableOptions) (*irs.Co
 // weight updates are logged too, and recovery restores the exact
 // (key, weight) multiset.
 func (s *Server) AddDurableWeighted(name string, opts DurableOptions) (*irs.WeightedConcurrent[float64], Recovery, error) {
+	begin := time.Now()
 	var (
 		items []weighted.Item[float64]
 		w     *irs.WeightedConcurrent[float64]
@@ -151,6 +163,7 @@ func (s *Server) AddDurableWeighted(name string, opts DurableOptions) (*irs.Weig
 		Kind:         persist.KindWeighted,
 		Sync:         opts.Sync,
 		SyncInterval: opts.SyncInterval,
+		OpenFile:     opts.OpenFile,
 	}, persist.RecoverySink[float64]{
 		SnapshotStart: func(count int) error {
 			items = make([]weighted.Item[float64], 0, count)
@@ -182,5 +195,6 @@ func (s *Server) AddDurableWeighted(name string, opts DurableOptions) (*irs.Weig
 		store.Close()
 		return nil, Recovery{}, err
 	}
+	s.noteRecovery(name, time.Since(begin))
 	return w, stats, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/irsgo/irs/internal/metrics"
 	"github.com/irsgo/irs/internal/wire"
 	"github.com/irsgo/irs/server"
 )
@@ -28,12 +29,41 @@ type Server struct {
 	backend *server.Server
 	opts    ServerOptions
 	names   internTable
+	inst    instruments
 
 	mu     sync.Mutex
 	lis    net.Listener
 	conns  map[*conn]struct{}
 	closed bool
 	wg     sync.WaitGroup // one count per live connection handler
+}
+
+// instruments is the transport's hot-path-safe instrumentation: atomic,
+// allocation-free recording (the TCP request path is pinned at 0
+// allocs/request; these must not break that), scraped through
+// AppendMetrics.
+type instruments struct {
+	connsOpen  metrics.Gauge
+	connsTotal metrics.Counter
+	inflight   metrics.Gauge
+	reqSeconds metrics.DurationHistogram
+}
+
+// AppendMetrics implements server.MetricsAppender: it renders the TCP
+// transport's Prometheus families (connection counts, in-flight
+// requests, request latency) for concatenation into the backend's
+// /metrics exposition. Register with backend.RegisterMetrics.
+func (s *Server) AppendMetrics(dst []byte) []byte {
+	b := metrics.NewBuilder(dst)
+	b.Family("irsd_tcp_connections_open", "TCP connections currently open.", "gauge")
+	b.Val("irsd_tcp_connections_open", float64(s.inst.connsOpen.Load()))
+	b.Family("irsd_tcp_connections_opened_total", "TCP connections accepted since boot.", "counter")
+	b.Val("irsd_tcp_connections_opened_total", float64(s.inst.connsTotal.Load()))
+	b.Family("irsd_tcp_inflight_requests", "Requests submitted to the core and not yet answered.", "gauge")
+	b.Val("irsd_tcp_inflight_requests", float64(s.inst.inflight.Load()))
+	b.Family("irsd_tcp_request_duration_seconds", "TCP request latency, dispatch to response enqueue.", "histogram")
+	b.Histogram("irsd_tcp_request_duration_seconds", s.inst.reqSeconds.Snapshot())
+	return b.Bytes()
 }
 
 // DefaultReadBufferSize is each connection's buffered-reader size when
@@ -98,12 +128,15 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.inst.connsTotal.Inc()
+		s.inst.connsOpen.Add(1)
 		go func() {
 			defer s.wg.Done()
 			c.handle()
 			s.mu.Lock()
 			delete(s.conns, c)
 			s.mu.Unlock()
+			s.inst.connsOpen.Add(-1)
 		}()
 	}
 }
@@ -221,9 +254,12 @@ func (c *conn) dispatch(id uint64, frame []byte) {
 		p := samplePool.Get().(*pendingSample)
 		dst := wire.GetF64()
 		p.c, p.id, p.dst = c, id, dst
+		p.start = time.Now()
 		c.inflight.Add(1)
+		c.srv.inst.inflight.Add(1)
 		if err := c.srv.backend.SampleAsync(name, (*dst)[:0], raw.Lo, raw.Hi, raw.T, p); err != nil {
 			c.inflight.Done()
+			c.srv.inst.inflight.Add(-1)
 			p.c, p.dst = nil, nil
 			samplePool.Put(p)
 			wire.PutF64(dst)
@@ -241,9 +277,12 @@ func (c *conn) dispatch(id uint64, frame []byte) {
 		name := c.srv.names.intern(rawName)
 		p := insertPool.Get().(*pendingInsert)
 		p.c, p.id, p.items = c, id, items
+		p.start = time.Now()
 		c.inflight.Add(1)
+		c.srv.inst.inflight.Add(1)
 		if err := c.srv.backend.InsertAsync(name, all, p); err != nil {
 			c.inflight.Done()
+			c.srv.inst.inflight.Add(-1)
 			p.c, p.items = nil, nil
 			insertPool.Put(p)
 			wire.PutItems(items)
@@ -343,9 +382,10 @@ func (c *conn) writeLoop(done chan struct{}) {
 // (boxing into the Reply interface without allocating) that encodes the
 // response envelope around the delivered samples and enqueues it.
 type pendingSample struct {
-	c   *conn
-	id  uint64
-	dst *[]float64 // pooled result buffer the core appends into
+	c     *conn
+	id    uint64
+	dst   *[]float64 // pooled result buffer the core appends into
+	start time.Time  // dispatch time, for the request-latency histogram
 }
 
 var samplePool = sync.Pool{New: func() any { return new(pendingSample) }}
@@ -367,6 +407,8 @@ func (p *pendingSample) Deliver(v []float64, err error) {
 		c.send(buf)
 		*p.dst = v[:0] // keep the buffer's growth pooled
 	}
+	c.srv.inst.reqSeconds.Observe(time.Since(p.start))
+	c.srv.inst.inflight.Add(-1)
 	wire.PutF64(p.dst)
 	p.c, p.dst = nil, nil
 	samplePool.Put(p)
@@ -380,6 +422,7 @@ type pendingInsert struct {
 	c     *conn
 	id    uint64
 	items *[]wire.Item
+	start time.Time // dispatch time, for the request-latency histogram
 }
 
 var insertPool = sync.Pool{New: func() any { return new(pendingInsert) }}
@@ -399,6 +442,8 @@ func (p *pendingInsert) Deliver(n int, err error) {
 		*buf = b
 		c.send(buf)
 	}
+	c.srv.inst.reqSeconds.Observe(time.Since(p.start))
+	c.srv.inst.inflight.Add(-1)
 	wire.PutItems(p.items)
 	p.c, p.items = nil, nil
 	insertPool.Put(p)

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	irs "github.com/irsgo/irs"
 	srv "github.com/irsgo/irs/internal/server"
@@ -54,10 +55,12 @@ import (
 // core's defaults.
 type Config = srv.Config
 
-// Stats and DatasetStats are the /stats payload.
+// Stats and DatasetStats are the /stats payload; ServerInfo is its
+// build/identity block (version, Go toolchain, uptime).
 type (
 	Stats        = srv.Stats
 	DatasetStats = srv.DatasetStats
+	ServerInfo   = srv.ServerInfo
 )
 
 // Item is one /insert element; Weight is ignored by unweighted datasets.
@@ -89,17 +92,22 @@ const maxBodyBytes = 8 << 20
 type Server struct {
 	core *srv.Core[float64]
 	mux  *http.ServeMux
+	obs  observe
 }
 
 // New returns a Server with no datasets.
 func New(cfg Config) *Server {
 	s := &Server{core: srv.NewCore[float64](cfg), mux: http.NewServeMux()}
+	s.obs.start = time.Now()
 	s.mux.HandleFunc("/sample", s.handleSample)
 	s.mux.HandleFunc("/insert", s.handleInsert)
 	s.mux.HandleFunc("/delete", s.handleDelete)
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
@@ -120,8 +128,12 @@ func (s *Server) AddWeighted(name string, w *irs.WeightedConcurrent[float64]) er
 // is synced and closed (the returned error joins any store failures).
 // Later requests get 503 shutting_down. Call it after the HTTP listener
 // has stopped accepting (http.Server.Shutdown) for a fully graceful stop,
-// though any order is safe.
-func (s *Server) Close() error { return s.core.Close() }
+// though any order is safe. Close also flips /readyz to draining for
+// embedders that never call SetDraining themselves.
+func (s *Server) Close() error {
+	s.SetDraining()
+	return s.core.Close()
+}
 
 // Snapshot takes a point-in-time snapshot of the named durable dataset
 // and compacts the WAL segments it covers — the in-process form of the
@@ -130,12 +142,23 @@ func (s *Server) Snapshot(name string) (srv.SnapshotInfo, error) {
 	return s.core.Snapshot(name)
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The four data endpoints are timed
+// into the per-encoding request-latency histograms; infrastructure
+// endpoints (/stats, /metrics, probes, /snapshot — which has its own
+// duration histogram) are not, so scrapes never skew request latency.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
-	case "/sample", "/insert", "/delete", "/update", "/snapshot", "/stats":
+	case "/sample", "/insert", "/delete", "/update":
+		start := time.Now()
+		s.mux.ServeHTTP(w, r)
+		s.observeRequest(isBinary(r), time.Since(start))
+	case "/snapshot", "/stats", "/metrics", "/healthz", "/readyz":
 		s.mux.ServeHTTP(w, r)
 	default:
+		if strings.HasPrefix(r.URL.Path, "/debug/pprof") {
+			s.handlePprof(w, r)
+			return
+		}
 		writeError(w, http.StatusNotFound, "not_found", "no such endpoint: "+r.URL.Path)
 	}
 }
@@ -354,7 +377,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.core.Stats())
+	st := s.core.Stats()
+	st.Server = s.serverInfo()
+	writeJSON(w, http.StatusOK, st)
 }
 
 // readJSON decodes a strict JSON body into dst, answering the error itself
