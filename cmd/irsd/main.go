@@ -52,12 +52,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
-	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	irs "github.com/irsgo/irs"
+	"github.com/irsgo/irs/internal/spec"
 	"github.com/irsgo/irs/server"
 	"github.com/irsgo/irs/server/irsnet"
 )
@@ -337,7 +337,16 @@ func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHe
 	return nil
 }
 
-// addDatasets parses "name[:kind]" specs and registers each dataset —
+// kindOf renders a dataset spec's kind for log lines.
+func kindOf(sp spec.Dataset) string {
+	if sp.Weighted {
+		return "weighted"
+	}
+	return "unweighted"
+}
+
+// addDatasets parses "name[:kind]" specs (internal/spec grammar) and
+// registers each dataset —
 // durable when dataDir is set, memory-only otherwise — optionally
 // preloaded with uniform keys. Durable datasets recover concurrently
 // (bounded by recoverConc; 0 means GOMAXPROCS), so a daemon serving many
@@ -351,35 +360,20 @@ func addDatasets(s *server.Server, logger *slog.Logger, specs string, shards int
 			return nil, err
 		}
 	}
-	type spec struct{ name, kind string }
-	var list []spec
-	for _, raw := range strings.Split(specs, ",") {
-		raw = strings.TrimSpace(raw)
-		if raw == "" {
-			continue
-		}
-		name, kind, _ := strings.Cut(raw, ":")
-		if kind == "" {
-			kind = "unweighted"
-		}
-		if kind != "weighted" && kind != "unweighted" {
-			return nil, fmt.Errorf("dataset %q: unknown kind %q (want weighted or unweighted)", name, kind)
-		}
-		list = append(list, spec{name: name, kind: kind})
-	}
-	if len(list) == 0 {
-		return nil, errors.New("no datasets configured")
+	list, err := spec.ParseDatasets(specs)
+	if err != nil {
+		return nil, err
 	}
 	names := make([]string, len(list))
 	for i, sp := range list {
-		names[i] = sp.name
+		names[i] = sp.Name
 	}
 	if dataDir == "" {
 		for _, sp := range list {
-			if err := addMemoryDataset(s, sp.name, sp.kind, shards, seed, preload); err != nil {
+			if err := addMemoryDataset(s, sp, shards, seed, preload); err != nil {
 				return nil, err
 			}
-			logger.Info("dataset registered", "dataset", sp.name, "kind", sp.kind, "shards", shards, "preload", preload)
+			logger.Info("dataset registered", "dataset", sp.Name, "kind", kindOf(sp), "shards", shards, "preload", preload)
 		}
 		return names, nil
 	}
@@ -398,7 +392,7 @@ func addDatasets(s *server.Server, logger *slog.Logger, specs string, shards int
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = addDurableDataset(s, logger, sp.name, sp.kind, shards, seed, preload, dataDir, policy, fsyncIvl)
+			errs[i] = addDurableDataset(s, logger, sp, shards, seed, preload, dataDir, policy, fsyncIvl)
 		}()
 	}
 	wg.Wait()
@@ -413,9 +407,10 @@ func addDatasets(s *server.Server, logger *slog.Logger, specs string, shards int
 // with the dataset name attached: the weighted batch insert can reject
 // invalid weights, the unweighted one cannot fail by construction, and
 // any error either path produces reaches the boot log the same way.
-func addMemoryDataset(s *server.Server, name, kind string, shards int, seed uint64, preload int) error {
+func addMemoryDataset(s *server.Server, sp spec.Dataset, shards int, seed uint64, preload int) error {
+	name := sp.Name
 	rng := irs.NewRNG(seed)
-	if kind == "weighted" {
+	if sp.Weighted {
 		w := irs.NewWeightedConcurrent[float64](shards, seed)
 		if preload > 0 {
 			if err := w.InsertBatch(preloadItems(rng, preload)); err != nil {
@@ -442,7 +437,8 @@ func addMemoryDataset(s *server.Server, name, kind string, shards int, seed uint
 // nothing (a restart must not re-preload on top of recovered data); the
 // preload bypasses the WAL, so it is made durable by an immediate
 // snapshot — all before the listener starts.
-func addDurableDataset(s *server.Server, logger *slog.Logger, name, kind string, shards int, seed uint64, preload int, dataDir string, policy server.SyncPolicy, fsyncIvl time.Duration) error {
+func addDurableDataset(s *server.Server, logger *slog.Logger, sp spec.Dataset, shards int, seed uint64, preload int, dataDir string, policy server.SyncPolicy, fsyncIvl time.Duration) error {
+	name := sp.Name
 	opts := server.DurableOptions{
 		Dir:          filepath.Join(dataDir, name),
 		Sync:         policy,
@@ -459,8 +455,7 @@ func addDurableDataset(s *server.Server, logger *slog.Logger, name, kind string,
 	fresh := func(rec server.Recovery) bool {
 		return rec.SnapshotSeq == 0 && rec.RecordsReplayed == 0
 	}
-	switch kind {
-	case "weighted":
+	if sp.Weighted {
 		w, rec, err := s.AddDurableWeighted(name, opts)
 		if err != nil {
 			return fmt.Errorf("dataset %q: %w", name, err)
@@ -475,7 +470,7 @@ func addDurableDataset(s *server.Server, logger *slog.Logger, name, kind string,
 			}
 		}
 		length = w.Len()
-	default:
+	} else {
 		c, rec, err := s.AddDurableUnweighted(name, opts)
 		if err != nil {
 			return fmt.Errorf("dataset %q: %w", name, err)
@@ -489,7 +484,7 @@ func addDurableDataset(s *server.Server, logger *slog.Logger, name, kind string,
 		}
 		length = c.Len()
 	}
-	logger.Info("dataset recovered", "dataset", name, "kind", kind, "items", length,
+	logger.Info("dataset recovered", "dataset", name, "kind", kindOf(sp), "items", length,
 		"snapshot_seq", recovered.SnapshotSeq, "snapshot_entries", recovered.SnapshotEntries,
 		"wal_records", recovered.RecordsReplayed, "torn_tail", recovered.TornTail)
 	return nil

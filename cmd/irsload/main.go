@@ -49,6 +49,12 @@
 // for. Overloaded (503) responses count as rejected, not errors:
 // backpressure is a correct answer under load.
 //
+// -addr (and, for tcp, -tcp-addr) accept comma-separated lists: the whole
+// measurement matrix runs once per target and each JSON row carries a
+// "target" field, so one invocation can compare a set of irsd nodes, or a
+// node against the irsrouter fronting it. Cross-encoding speedup ratios
+// are only computed for a single target.
+//
 // With -curve "1000,2000,5000,..." the harness instead sweeps the open
 // load model across the given offered rates (sample workload only) and
 // emits one row per (encoding, rate): delivered throughput and
@@ -95,8 +101,13 @@ type latencySummary struct {
 	Max float64 `json:"max"`
 }
 
-// encodingResult is one measured phase (one encoding, one load model).
+// encodingResult is one measured phase (one target, one encoding, one
+// load model).
 type encodingResult struct {
+	// Target is the daemon this phase drove — one row per target when
+	// -addr lists several (e.g. every node of a cluster, or nodes plus
+	// the router fronting them).
+	Target   string `json:"target,omitempty"`
 	Encoding string `json:"encoding"` // "json", "binary", or "tcp"
 	Mode     string `json:"mode"`     // "closed" or "open"
 	Requests int    `json:"requests"`
@@ -153,8 +164,8 @@ type benchDoc struct {
 
 func main() {
 	var (
-		addr      = flag.String("addr", "", "base URL of a running irsd (required), e.g. http://127.0.0.1:8080")
-		tcpAddr   = flag.String("tcp-addr", "", "host:port of the daemon's -tcp-addr listener (required for -encoding tcp or all)")
+		addr      = flag.String("addr", "", "comma-separated base URLs of running daemons (required), e.g. http://127.0.0.1:8080; several targets run the full phase matrix per target")
+		tcpAddr   = flag.String("tcp-addr", "", "comma-separated host:port of each daemon's -tcp-addr listener, aligned with -addr (required for -encoding tcp or all)")
 		dataset   = flag.String("dataset", "", "dataset name (empty = the daemon's sole dataset)")
 		encoding  = flag.String("encoding", "both", "wire encoding to drive: json, binary, tcp, both (json+binary), or all")
 		workload  = flag.String("workload", "sample", "request mix: sample, insert (t new keys per request), or mixed (every 4th request inserts)")
@@ -174,9 +185,11 @@ func main() {
 	)
 	flag.Parse()
 	log.SetFlags(0)
-	if *addr == "" {
-		log.Fatal("irsload: -addr is required (point it at a running irsd)")
+	targets := splitList(*addr)
+	if len(targets) == 0 {
+		log.Fatal("irsload: -addr is required (point it at one or more running daemons)")
 	}
+	tcpTargets := splitList(*tcpAddr)
 	if *mode != "closed" && *mode != "open" {
 		log.Fatalf("irsload: unknown -mode %q (want closed or open)", *mode)
 	}
@@ -224,18 +237,20 @@ func main() {
 		log.Fatalf("irsload: unknown -encoding %q (want json, binary, tcp, both, or all)", *encoding)
 	}
 	for _, enc := range encodings {
-		if enc == "tcp" && *tcpAddr == "" {
-			log.Fatalf("irsload: -encoding %s needs -tcp-addr (the daemon's persistent-TCP listener)", *encoding)
+		if enc == "tcp" && len(tcpTargets) != len(targets) {
+			log.Fatalf("irsload: -encoding %s needs one -tcp-addr per -addr target (%d targets, %d tcp addresses)",
+				*encoding, len(targets), len(tcpTargets))
 		}
 	}
 
 	ctx := context.Background()
-	cl := server.NewClient(*addr)
 	if *workload != "insert" {
 		// A pure-insert run makes its own data; preloading would only
 		// dilute the recovered-vs-acked crash check.
-		if err := ensurePopulated(ctx, cl, *dataset, *ensure, *lo, *hi); err != nil {
-			log.Fatalf("irsload: %v", err)
+		for _, target := range targets {
+			if err := ensurePopulated(ctx, server.NewClient(target), *dataset, *ensure, *lo, *hi); err != nil {
+				log.Fatalf("irsload: %s: %v", target, err)
+			}
 		}
 	}
 
@@ -265,62 +280,72 @@ func main() {
 		doc.Mode = "curve"
 		doc.RatePerSec = 0
 	}
-	for _, enc := range encodings {
-		var pcl sampleClient
-		switch enc {
-		case "tcp":
-			tcl := irsnet.NewClient(*tcpAddr, irsnet.Options{})
-			defer tcl.Close()
-			pcl = tcl
-		default:
-			hcl := server.NewClient(*addr)
-			hcl.Binary = enc == "binary"
-			pcl = hcl
-		}
-		cfg := phase{dataset: *dataset, workload: *workload, lo: *lo, hi: *hi, t: *tPer, acked: &acked}
-		if len(curveRates) > 0 {
-			// The sweep climbs the offered-load ladder with a fresh warm-up
-			// per step, so each row's latency reflects steady state at that
-			// rate, queueing included.
-			for _, r := range curveRates {
-				fmt.Printf("irsload: curve %s @ %.0f req/s offered, %s warm-up + %s measured...\n", enc, r, *warmup, *duration)
-				openLoop(ctx, pcl, cfg, *conc, r, *warmup)
-				res := openLoop(ctx, pcl, cfg, *conc, r, *duration)
-				res.Encoding, res.Mode = enc, "open"
-				doc.Curve = append(doc.Curve, curvePoint{OfferedRPS: r, encodingResult: res})
-				fmt.Printf("  delivered %.0f req/s (%d rejected, %d errors, %d dropped): p50=%.0fus p90=%.0fus p99=%.0fus\n",
-					res.ThroughputRPS, res.Rejected, res.Errors, res.Dropped,
-					res.LatencyUS.P50, res.LatencyUS.P90, res.LatencyUS.P99)
+	for ti, target := range targets {
+		for _, enc := range encodings {
+			label := enc
+			if len(targets) > 1 {
+				label = target + " " + enc
 			}
-			continue
+			var pcl sampleClient
+			switch enc {
+			case "tcp":
+				tcl := irsnet.NewClient(tcpTargets[ti], irsnet.Options{})
+				defer tcl.Close()
+				pcl = tcl
+			default:
+				hcl := server.NewClient(target)
+				hcl.Binary = enc == "binary"
+				pcl = hcl
+			}
+			cfg := phase{dataset: *dataset, workload: *workload, lo: *lo, hi: *hi, t: *tPer, acked: &acked}
+			if len(curveRates) > 0 {
+				// The sweep climbs the offered-load ladder with a fresh warm-up
+				// per step, so each row's latency reflects steady state at that
+				// rate, queueing included.
+				for _, r := range curveRates {
+					fmt.Printf("irsload: curve %s @ %.0f req/s offered, %s warm-up + %s measured...\n", label, r, *warmup, *duration)
+					openLoop(ctx, pcl, cfg, *conc, r, *warmup)
+					res := openLoop(ctx, pcl, cfg, *conc, r, *duration)
+					res.Target, res.Encoding, res.Mode = target, enc, "open"
+					doc.Curve = append(doc.Curve, curvePoint{OfferedRPS: r, encodingResult: res})
+					fmt.Printf("  delivered %.0f req/s (%d rejected, %d errors, %d dropped): p50=%.0fus p90=%.0fus p99=%.0fus\n",
+						res.ThroughputRPS, res.Rejected, res.Errors, res.Dropped,
+						res.LatencyUS.P50, res.LatencyUS.P90, res.LatencyUS.P99)
+				}
+				continue
+			}
+			fmt.Printf("irsload: %s %s over %s, %s warm-up + %s measured...\n", *mode, *workload, label, *warmup, *duration)
+			var res encodingResult
+			if *mode == "closed" {
+				closedLoop(ctx, pcl, cfg, *conc, *warmup) // warm-up, discarded
+				res = closedLoop(ctx, pcl, cfg, *conc, *duration)
+			} else {
+				openLoop(ctx, pcl, cfg, *conc, *rate, *warmup)
+				res = openLoop(ctx, pcl, cfg, *conc, *rate, *duration)
+			}
+			res.Target, res.Encoding, res.Mode = target, enc, *mode
+			doc.Results = append(doc.Results, res)
+			fmt.Printf("  %d requests (%d rejected, %d errors) in %.2fs: %.0f req/s, %.2fM samples/s\n",
+				res.Requests, res.Rejected, res.Errors, res.DurationSec, res.ThroughputRPS, res.SamplesPerSec/1e6)
+			fmt.Printf("  latency p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus, %.1f client mallocs/op\n",
+				res.LatencyUS.P50, res.LatencyUS.P90, res.LatencyUS.P99, res.LatencyUS.Max, res.MallocsPerOp)
 		}
-		fmt.Printf("irsload: %s %s over %s, %s warm-up + %s measured...\n", *mode, *workload, enc, *warmup, *duration)
-		var res encodingResult
-		if *mode == "closed" {
-			closedLoop(ctx, pcl, cfg, *conc, *warmup) // warm-up, discarded
-			res = closedLoop(ctx, pcl, cfg, *conc, *duration)
-		} else {
-			openLoop(ctx, pcl, cfg, *conc, *rate, *warmup)
-			res = openLoop(ctx, pcl, cfg, *conc, *rate, *duration)
+	}
+	// Cross-encoding speedups only make sense within one target; with
+	// several, the per-target rows carry the comparison.
+	if len(targets) == 1 {
+		rps := make(map[string]float64, len(doc.Results))
+		for _, r := range doc.Results {
+			rps[r.Encoding] = r.ThroughputRPS
 		}
-		res.Encoding, res.Mode = enc, *mode
-		doc.Results = append(doc.Results, res)
-		fmt.Printf("  %d requests (%d rejected, %d errors) in %.2fs: %.0f req/s, %.2fM samples/s\n",
-			res.Requests, res.Rejected, res.Errors, res.DurationSec, res.ThroughputRPS, res.SamplesPerSec/1e6)
-		fmt.Printf("  latency p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus, %.1f client mallocs/op\n",
-			res.LatencyUS.P50, res.LatencyUS.P90, res.LatencyUS.P99, res.LatencyUS.Max, res.MallocsPerOp)
-	}
-	rps := make(map[string]float64, len(doc.Results))
-	for _, r := range doc.Results {
-		rps[r.Encoding] = r.ThroughputRPS
-	}
-	if rps["json"] > 0 && rps["binary"] > 0 {
-		doc.SpeedupBinaryOverJSON = rps["binary"] / rps["json"]
-		fmt.Printf("irsload: binary / JSON throughput = %.2fx\n", doc.SpeedupBinaryOverJSON)
-	}
-	if rps["binary"] > 0 && rps["tcp"] > 0 {
-		doc.SpeedupTCPOverBinary = rps["tcp"] / rps["binary"]
-		fmt.Printf("irsload: tcp / binary throughput = %.2fx\n", doc.SpeedupTCPOverBinary)
+		if rps["json"] > 0 && rps["binary"] > 0 {
+			doc.SpeedupBinaryOverJSON = rps["binary"] / rps["json"]
+			fmt.Printf("irsload: binary / JSON throughput = %.2fx\n", doc.SpeedupBinaryOverJSON)
+		}
+		if rps["binary"] > 0 && rps["tcp"] > 0 {
+			doc.SpeedupTCPOverBinary = rps["tcp"] / rps["binary"]
+			fmt.Printf("irsload: tcp / binary throughput = %.2fx\n", doc.SpeedupTCPOverBinary)
+		}
 	}
 	if *jsonPath != "" {
 		raw, err := json.MarshalIndent(doc, "", "  ")
@@ -342,6 +367,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// splitList parses a comma-separated flag value into its non-empty,
+// space-trimmed elements; "a, b," yields ["a" "b"].
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // ensurePopulated inserts n uniform keys in [lo, hi] when the target

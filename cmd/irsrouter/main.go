@@ -1,0 +1,295 @@
+// Command irsrouter is the IRS cluster router: it fronts a set of irsd
+// nodes, each owning one contiguous key range, and serves the exact same
+// protocols a single node speaks — HTTP/JSON, HTTP binary frames, and
+// (with -tcp-addr) the persistent multiplexed binary TCP transport — so
+// clients talk to a cluster exactly as they talk to one daemon.
+//
+// Usage:
+//
+//	irsrouter -addr 127.0.0.1:9090 \
+//	  -partitions '127.0.0.1:8081@0:1e6,127.0.0.1:8082@1e6:2e6,127.0.0.1:8083@2e6:+inf' \
+//	  -datasets events
+//
+// Partitions are "addr@lo:hi" specs (internal/spec grammar): contiguous
+// ascending key ranges, '@' separating the node address from the range
+// because addresses contain ':'. Bounds accept -inf/+inf. Each node must
+// serve the configured datasets over -node-encoding (json, binary, or
+// tcp).
+//
+// Cross-partition sample requests are split exactly: per-partition
+// in-range (count, mass) probes, a multinomial draw over partition
+// masses, per-partition sub-samples, and a scatter back into draw order —
+// the same construction the in-process sharded sampler uses, one level
+// up, so samples through the router are distributed identically to a
+// single node holding the union. Mutations route by key range. A request
+// touching an unreachable node answers the typed "unavailable" error
+// while other partitions keep serving.
+//
+// /stats aggregates the nodes' views; /metrics adds per-partition request
+// and failure counters plus refreshed per-partition key/mass gauges
+// (-refresh sets the cadence); /healthz and /readyz behave as on irsd,
+// with readiness dropping the moment a drain begins. The chosen addresses
+// print as "irsrouter: serving on http://..." and "irsrouter: tcp on ..."
+// for wrappers to scrape, and SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/irsgo/irs/client"
+	"github.com/irsgo/irs/internal/cluster"
+	"github.com/irsgo/irs/internal/spec"
+	"github.com/irsgo/irs/server"
+	"github.com/irsgo/irs/server/irsnet"
+)
+
+// version is the build identity reported by /stats, /metrics, and the
+// boot log; release builds stamp it with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/irsrouter
+var version = "dev"
+
+func main() { os.Exit(run()) }
+
+// newLogger mirrors irsd: slog text or JSON on stderr; the machine-scraped
+// stdout lines stay plain prints.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free port)")
+		tcpAddr    = flag.String("tcp-addr", "", "persistent binary TCP listen address (empty disables; port 0 picks a free port)")
+		tcpReadBuf = flag.Int("tcp-read-buf", 0, "per-connection read buffer for the binary TCP transport, bytes (0 = default)")
+		partitions = flag.String("partitions", "", "comma-separated addr@lo:hi partition specs, contiguous and ascending (required)")
+		datasets   = flag.String("datasets", "demo", "comma-separated name[:weighted|:unweighted] specs the cluster serves")
+		encoding   = flag.String("node-encoding", "binary", "wire encoding toward the nodes: json, binary, or tcp")
+		seed       = flag.Uint64("seed", 1, "seed for the cross-partition multinomial split")
+		timeout    = flag.Duration("node-timeout", 10*time.Second, "per-node request deadline (0 = none)")
+		refresh    = flag.Duration("refresh", 15*time.Second, "partition stats refresh period for /metrics gauges (0 disables)")
+
+		readHdrTimeout = flag.Duration("read-header-timeout", 5*time.Second, "HTTP header read deadline per request")
+		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle connection deadline")
+
+		logFormat   = flag.String("log-format", "text", "structured log encoding: text or json")
+		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP address")
+	)
+	flag.Parse()
+
+	if err := validateFlags(*partitions, *logFormat, *readHdrTimeout, *idleTimeout, *tcpAddr, *tcpReadBuf); err != nil {
+		newLogger("text").Error("invalid flags", "err", err)
+		return 2
+	}
+	logger := newLogger(*logFormat)
+	logger.Info("irsrouter starting", "version", version, "go", runtime.Version(), "pid", os.Getpid())
+
+	router, err := buildRouter(*partitions, *datasets, *encoding, *seed, *timeout)
+	if err != nil {
+		logger.Error("boot failed", "err", err)
+		return 1
+	}
+	for i := 0; i < router.Map().Len(); i++ {
+		p := router.Map().At(i)
+		logger.Info("partition", "index", i, "addr", p.Addr, "lo", p.Lo, "hi", p.Hi)
+	}
+
+	s := server.NewProxy(router)
+	s.SetVersion(version)
+	if *enablePprof {
+		s.EnablePprof()
+	}
+	// Prime the partition gauges once, best-effort: a node still booting
+	// must not fail the router's boot — requests to it answer
+	// "unavailable" until it appears.
+	_ = router.Stats()
+	s.SetReady()
+
+	refreshStop := make(chan struct{})
+	refreshDone := make(chan struct{})
+	if *refresh > 0 {
+		go func() {
+			defer close(refreshDone)
+			t := time.NewTicker(*refresh)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					_ = router.Stats() // refreshes the map's cached (count, mass)
+				case <-refreshStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(refreshDone)
+	}
+	stopRefresh := func() {
+		close(refreshStop)
+		<-refreshDone
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		stopRefresh()
+		_ = s.Close()
+		return 1
+	}
+	var tln net.Listener
+	if *tcpAddr != "" {
+		tln, err = net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			logger.Error("tcp listen failed", "addr", *tcpAddr, "err", err)
+			_ = ln.Close()
+			stopRefresh()
+			_ = s.Close()
+			return 1
+		}
+		fmt.Printf("irsrouter: tcp on %s\n", tln.Addr())
+	}
+	fmt.Printf("irsrouter: serving on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: *readHdrTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	var tcpSrv *irsnet.Server
+	var tcpDone chan error
+	if tln != nil {
+		tcpSrv = irsnet.NewServerOpts(s, irsnet.ServerOptions{ReadBufferSize: *tcpReadBuf})
+		s.RegisterMetrics(tcpSrv)
+		tcpDone = make(chan error, 1)
+		go func() { tcpDone <- tcpSrv.Serve(tln) }()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	exit := 0
+	var serveErr, tcpErr error
+	shutdownBoth := func() {
+		s.SetDraining()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Error("http shutdown failed", "err", err)
+		}
+		if tcpSrv != nil {
+			if err := tcpSrv.Shutdown(shutCtx); err != nil {
+				logger.Error("tcp shutdown failed", "err", err)
+			}
+		}
+	}
+	select {
+	case <-ctx.Done():
+		logger.Info("signal received, draining")
+		shutdownBoth()
+		serveErr = <-done
+		if tcpDone != nil {
+			tcpErr = <-tcpDone
+		}
+	case serveErr = <-done:
+		shutdownBoth()
+		if tcpDone != nil {
+			tcpErr = <-tcpDone
+		}
+	case tcpErr = <-tcpDone:
+		shutdownBoth()
+		serveErr = <-done
+	}
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		logger.Error("http serve failed", "err", serveErr)
+		exit = 1
+	}
+	if tcpErr != nil {
+		logger.Error("tcp serve failed", "err", tcpErr)
+		exit = 1
+	}
+	stopRefresh()
+	// Close the proxy: the backend Close releases the node connections.
+	if err := s.Close(); err != nil {
+		logger.Error("close failed", "err", err)
+		if exit == 0 {
+			exit = 1
+		}
+	}
+	fmt.Println("irsrouter: drained, bye")
+	return exit
+}
+
+// buildRouter parses the partition and dataset specs, dials one
+// connection per node, and assembles the cluster router. Dialing is lazy
+// on every encoding, so a node that is still booting does not fail the
+// router's boot.
+func buildRouter(partitionSpecs, datasetSpecs, encoding string, seed uint64, timeout time.Duration) (*cluster.Router, error) {
+	pspecs, err := spec.ParsePartitions(partitionSpecs)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]cluster.Partition, len(pspecs))
+	conns := make([]client.Conn, len(pspecs))
+	for i, ps := range pspecs {
+		parts[i] = cluster.Partition{Addr: ps.Addr, Lo: ps.Lo, Hi: ps.Hi}
+		if conns[i], err = client.Dial(ps.Addr, encoding); err != nil {
+			return nil, fmt.Errorf("partition %d (%s): %w", i, ps.Addr, err)
+		}
+	}
+	m, err := cluster.New(parts)
+	if err != nil {
+		return nil, err
+	}
+	dspecs, err := spec.ParseDatasets(datasetSpecs)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(dspecs))
+	for i, d := range dspecs {
+		names[i] = d.Name
+	}
+	return cluster.NewRouter(m, conns, cluster.Options{
+		Datasets: names,
+		Seed:     seed,
+		Timeout:  timeout,
+	})
+}
+
+// validateFlags rejects contradictions before any connection is dialed.
+func validateFlags(partitions, logFormat string, readHeaderTimeout, idleTimeout time.Duration, tcpAddr string, tcpReadBuf int) error {
+	if partitions == "" {
+		return errors.New("-partitions is required (comma-separated addr@lo:hi specs)")
+	}
+	if logFormat != "text" && logFormat != "json" {
+		return fmt.Errorf("-log-format %q: want text or json", logFormat)
+	}
+	if readHeaderTimeout <= 0 {
+		return errors.New("-read-header-timeout must be positive")
+	}
+	if idleTimeout <= 0 {
+		return errors.New("-idle-timeout must be positive")
+	}
+	if tcpReadBuf < 0 {
+		return errors.New("-tcp-read-buf must be >= 0 (0 means the default size)")
+	}
+	if tcpReadBuf > 0 && tcpAddr == "" {
+		return errors.New("-tcp-read-buf has no effect without -tcp-addr")
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func mustMap(t *testing.T, parts []Partition) *Map {
+	t.Helper()
+	m, err := New(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func threeWay(t *testing.T) *Map {
+	return mustMap(t, []Partition{
+		{Addr: "a", Lo: 0, Hi: 100},
+		{Addr: "b", Lo: 100, Hi: 200},
+		{Addr: "c", Lo: 200, Hi: 300},
+	})
+}
+
+func TestNewMapValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		parts []Partition
+	}{
+		{"empty", nil},
+		{"no address", []Partition{{Lo: 0, Hi: 1}}},
+		{"inverted", []Partition{{Addr: "a", Lo: 2, Hi: 1}}},
+		{"empty range", []Partition{{Addr: "a", Lo: 1, Hi: 1}}},
+		{"nan", []Partition{{Addr: "a", Lo: math.NaN(), Hi: 1}}},
+		{"gap", []Partition{{Addr: "a", Lo: 0, Hi: 1}, {Addr: "b", Lo: 2, Hi: 3}}},
+		{"overlap", []Partition{{Addr: "a", Lo: 0, Hi: 2}, {Addr: "b", Lo: 1, Hi: 3}}},
+		{"descending", []Partition{{Addr: "a", Lo: 2, Hi: 3}, {Addr: "b", Lo: 0, Hi: 2}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.parts); !errors.Is(err, ErrBadMap) {
+			t.Errorf("%s: got %v, want ErrBadMap", tc.name, err)
+		}
+	}
+}
+
+func TestRoute(t *testing.T) {
+	m := threeWay(t)
+	cases := []struct {
+		key  float64
+		want int
+	}{
+		{-1, -1},         // below coverage
+		{0, 0},           // first partition's Lo
+		{99.9, 0},        // inside first
+		{100, 1},         // boundary: owned by the upper partition
+		{199.999, 1},     // inside second
+		{200, 2},         // boundary again
+		{300, 2},         // last partition's Hi is owned (closed map)
+		{300.5, -1},      // above coverage
+		{math.NaN(), -1}, // NaN routes nowhere
+	}
+	for _, tc := range cases {
+		if got := m.Route(tc.key); got != tc.want {
+			t.Errorf("Route(%v) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+}
+
+func TestRouteUnbounded(t *testing.T) {
+	m := mustMap(t, []Partition{
+		{Addr: "a", Lo: math.Inf(-1), Hi: 0},
+		{Addr: "b", Lo: 0, Hi: math.Inf(1)},
+	})
+	if got := m.Route(-1e300); got != 0 {
+		t.Errorf("Route(-1e300) = %d, want 0", got)
+	}
+	if got := m.Route(1e300); got != 1 {
+		t.Errorf("Route(1e300) = %d, want 1", got)
+	}
+	if got := m.Route(0); got != 1 {
+		t.Errorf("Route(0) = %d, want 1 (boundary owned above)", got)
+	}
+}
+
+func TestOverlapAndClip(t *testing.T) {
+	m := threeWay(t)
+
+	// Query spanning everything.
+	first, last := m.Overlap(0, 300)
+	if first != 0 || last != 2 {
+		t.Fatalf("Overlap(0,300) = [%d,%d], want [0,2]", first, last)
+	}
+
+	// Query inside one partition.
+	if first, last = m.Overlap(110, 120); first != 1 || last != 1 {
+		t.Fatalf("Overlap(110,120) = [%d,%d], want [1,1]", first, last)
+	}
+
+	// Query exactly at a boundary key touches only the owning partition.
+	if first, last = m.Overlap(100, 100); first != 1 || last != 1 {
+		t.Fatalf("Overlap(100,100) = [%d,%d], want [1,1]", first, last)
+	}
+
+	// Query outside coverage.
+	if first, last = m.Overlap(301, 400); first <= last {
+		t.Fatalf("Overlap(301,400) = [%d,%d], want empty", first, last)
+	}
+	if first, last = m.Overlap(-10, -1); first <= last {
+		t.Fatalf("Overlap(-10,-1) = [%d,%d], want empty", first, last)
+	}
+
+	// Clip of a cross-boundary query: partition 0's share must stop just
+	// below 100, partition 1's start exactly at 100 — no key is probed
+	// twice, no key is skipped.
+	clo, chi, ok := m.Clip(0, 50, 150)
+	if !ok || clo != 50 || chi != math.Nextafter(100, math.Inf(-1)) {
+		t.Fatalf("Clip(0,50,150) = [%v,%v] ok=%v", clo, chi, ok)
+	}
+	clo, chi, ok = m.Clip(1, 50, 150)
+	if !ok || clo != 100 || chi != 150 {
+		t.Fatalf("Clip(1,50,150) = [%v,%v] ok=%v", clo, chi, ok)
+	}
+
+	// The last partition's upper bound is inclusive.
+	clo, chi, ok = m.Clip(2, 250, 400)
+	if !ok || clo != 250 || chi != 300 {
+		t.Fatalf("Clip(2,250,400) = [%v,%v] ok=%v", clo, chi, ok)
+	}
+}
+
+func TestEveryKeyOwnedOnce(t *testing.T) {
+	m := threeWay(t)
+	// Walk keys across both boundaries: the partition owning each key must
+	// equal the unique partition whose clip of [k, k] is nonempty.
+	for _, k := range []float64{0, 50, 99, math.Nextafter(100, math.Inf(-1)), 100, 150, 200, 299, 300} {
+		owner := m.Route(k)
+		holders := 0
+		for i := 0; i < m.Len(); i++ {
+			if _, _, ok := m.Clip(i, k, k); ok {
+				holders++
+				if i != owner {
+					t.Errorf("key %v: clipped by %d but routed to %d", k, i, owner)
+				}
+			}
+		}
+		if holders != 1 {
+			t.Errorf("key %v held by %d partitions, want exactly 1", k, holders)
+		}
+	}
+}
+
+func TestCachedStats(t *testing.T) {
+	m := threeWay(t)
+	if _, _, at := m.Cached(0); !at.IsZero() {
+		t.Fatal("refreshed before any Update")
+	}
+	m.Update(1, 42, 9.5, time.Now())
+	c, mass, at := m.Cached(1)
+	if c != 42 || mass != 9.5 || at.IsZero() {
+		t.Fatalf("Cached(1) = (%d, %v, %v)", c, mass, at)
+	}
+}

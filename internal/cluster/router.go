@@ -1,0 +1,630 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/irsgo/irs/client"
+	"github.com/irsgo/irs/internal/alias"
+	"github.com/irsgo/irs/internal/metrics"
+	"github.com/irsgo/irs/internal/xrand"
+	"github.com/irsgo/irs/server"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Datasets names the datasets the cluster serves; requests for other
+	// names answer ErrUnknownDataset without touching a node, and an empty
+	// request name resolves to the sole dataset exactly as on a single
+	// node. Must name at least one.
+	Datasets []string
+	// Seed seeds the multinomial-split RNG.
+	Seed uint64
+	// Timeout bounds each upstream node call; 0 means no bound.
+	Timeout time.Duration
+}
+
+// Router fans the single-node serving surface out across a partition map.
+// It satisfies server.Backend, so server.NewProxy(router) serves the
+// identical HTTP protocol — and irsnet.NewServer on top of that proxy the
+// identical TCP protocol — that the nodes themselves speak.
+//
+// Failure semantics: sampling and range probes fail whole when any
+// overlapping node is unreachable (a partial sample would not be a sample
+// of the requested range); mutations apply per partition independently and
+// report how many elements were applied alongside an error wrapping
+// server.ErrUnavailable for the partitions that failed. Unreachable-node
+// errors always satisfy errors.Is(err, server.ErrUnavailable); node-side
+// serving errors (*server.APIError) pass through untouched, so the error
+// vocabulary a client sees through the router is the node vocabulary plus
+// "unavailable".
+type Router struct {
+	m        *Map
+	conns    []client.Conn
+	datasets map[string]bool
+	sole     string // sole dataset name, "" when several are registered
+	timeout  time.Duration
+
+	rngMu sync.Mutex
+	rng   *xrand.RNG
+
+	// Per-partition upstream instrumentation, exposed by AppendMetrics.
+	requests []metrics.Counter // RPCs issued to the partition's node
+	failures []metrics.Counter // RPCs that found the node unreachable
+}
+
+// NewRouter builds a router over the map's partitions; conns[i] is the
+// connection to the node owning m.At(i) — one per partition, in map order.
+func NewRouter(m *Map, conns []client.Conn, opts Options) (*Router, error) {
+	if len(conns) != m.Len() {
+		return nil, fmt.Errorf("%w: %d connections for %d partitions", ErrBadMap, len(conns), m.Len())
+	}
+	if len(opts.Datasets) == 0 {
+		return nil, errors.New("cluster: at least one dataset name required")
+	}
+	r := &Router{
+		m:        m,
+		conns:    conns,
+		datasets: make(map[string]bool, len(opts.Datasets)),
+		timeout:  opts.Timeout,
+		rng:      xrand.New(opts.Seed),
+		requests: make([]metrics.Counter, m.Len()),
+		failures: make([]metrics.Counter, m.Len()),
+	}
+	for _, name := range opts.Datasets {
+		r.datasets[name] = true
+	}
+	if len(r.datasets) == 1 {
+		r.sole = opts.Datasets[0]
+	}
+	return r, nil
+}
+
+// Map returns the router's partition map (for observability; the topology
+// is immutable).
+func (r *Router) Map() *Map { return r.m }
+
+// callCtx bounds one upstream call.
+func (r *Router) callCtx() (context.Context, context.CancelFunc) {
+	if r.timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), r.timeout)
+}
+
+// wrap classifies an upstream error: node-side serving errors
+// (*server.APIError, already carrying the wire vocabulary) pass through;
+// anything else — dial failure, timeout, torn connection — becomes an
+// unavailable error naming the partition.
+func (r *Router) wrap(i int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) {
+		return err
+	}
+	r.failures[i].Inc()
+	return fmt.Errorf("%w: partition %d (%s): %v", server.ErrUnavailable, i, r.m.At(i).Addr, err)
+}
+
+// Resolve mirrors the single-node routing rule over the router's
+// registered dataset names.
+func (r *Router) Resolve(dataset string) (string, error) {
+	if dataset == "" {
+		if r.sole != "" {
+			return r.sole, nil
+		}
+		return "", server.ErrAmbiguousDataset
+	}
+	if !r.datasets[dataset] {
+		return "", server.ErrUnknownDataset
+	}
+	return dataset, nil
+}
+
+// SampleAppend answers t independent mass-proportional samples of
+// [lo, hi] drawn across every overlapping partition — see the package
+// comment for the exactness construction. When exactly one partition
+// overlaps, the request is forwarded verbatim, so a router over a single
+// node is sample-for-sample identical to that node.
+func (r *Router) SampleAppend(dataset string, dst []float64, lo, hi float64, t int) ([]float64, error) {
+	if t <= 0 {
+		return dst, server.ErrInvalidCount
+	}
+	if hi < lo {
+		return dst, server.ErrInvalidRange
+	}
+	name, err := r.Resolve(dataset)
+	if err != nil {
+		return dst, err
+	}
+	return r.sampleResolved(name, dst, lo, hi, t)
+}
+
+// SampleAppendAsync is SampleAppend under the Backend async contract:
+// validation and routing errors return synchronously (done never runs);
+// otherwise done.Deliver runs exactly once from another goroutine. The
+// router has no coalescer to keep a reader goroutine out of — the fan-out
+// itself is the slow part — so async is a goroutine over the sync path.
+func (r *Router) SampleAppendAsync(dataset string, dst []float64, lo, hi float64, t int, done server.SampleReply) error {
+	if t <= 0 {
+		return server.ErrInvalidCount
+	}
+	if hi < lo {
+		return server.ErrInvalidRange
+	}
+	name, err := r.Resolve(dataset)
+	if err != nil {
+		return err
+	}
+	go func() {
+		done.Deliver(r.sampleResolved(name, dst, lo, hi, t))
+	}()
+	return nil
+}
+
+func (r *Router) sampleResolved(name string, dst []float64, lo, hi float64, t int) ([]float64, error) {
+	first, last := r.m.Overlap(lo, hi)
+	if first > last {
+		return dst, server.ErrEmptyRange // query outside the map's coverage
+	}
+	if first == last {
+		// Single-partition fast path: forward the request unchanged (the
+		// node clips to its own holdings anyway), keeping the router
+		// bit-transparent over one partition.
+		r.requests[first].Inc()
+		ctx, cancel := r.callCtx()
+		defer cancel()
+		out, err := r.conns[first].SampleAppend(ctx, name, dst, lo, hi, t)
+		if err != nil {
+			return dst, r.wrap(first, err)
+		}
+		return out, nil
+	}
+
+	// Stage 1: per-partition in-range (count, mass) probes on the clipped
+	// ranges, in parallel. Any unreachable node fails the request whole: a
+	// sample drawn from only the reachable partitions would be a sample of
+	// a different population.
+	n := last - first + 1
+	counts := make([]int, n)
+	masses := make([]float64, n)
+	if err := r.scatter(first, last, func(ctx context.Context, i int) error {
+		clo, chi, _ := r.m.Clip(i, lo, hi)
+		c, m, err := r.conns[i].RangeStats(ctx, name, clo, chi)
+		counts[i-first], masses[i-first] = c, m
+		return err
+	}); err != nil {
+		return dst, err
+	}
+	total, totalMass := 0, 0.0
+	for k := range counts {
+		total += counts[k]
+		totalMass += masses[k]
+	}
+	if total == 0 || totalMass <= 0 {
+		return dst, server.ErrEmptyRange
+	}
+
+	// Stage 2: multinomial split — alias table over the positive
+	// per-partition masses, one draw per output position, tallied into
+	// per-partition sub-request sizes.
+	var weights []float64
+	var nonzero []int // partition offset (i-first) per alias column
+	for k, m := range masses {
+		if m > 0 {
+			weights = append(weights, m)
+			nonzero = append(nonzero, k)
+		}
+	}
+	table, err := alias.New(weights)
+	if err != nil {
+		return dst, err // unreachable: weights are positive and finite
+	}
+	cols := len(weights)
+	choice := make([]int32, t)
+	tally := make([]int, cols)
+	r.rngMu.Lock()
+	for j := 0; j < t; j++ {
+		k := table.Draw(r.rng)
+		choice[j] = int32(k)
+		tally[k]++
+	}
+	r.rngMu.Unlock()
+
+	// Stage 3: per-partition sub-samples of the clipped ranges, in
+	// parallel. Each node returns exactly tally[k] i.i.d. samples of its
+	// clip or an error (a concurrent deletion emptying a partition between
+	// probe and sample surfaces as that node's error and fails the
+	// request, never as a silently short result).
+	segs := make([][]float64, cols)
+	if err := r.scatterCols(first, nonzero, func(ctx context.Context, k, i int) error {
+		want := tally[k]
+		if want == 0 {
+			return nil
+		}
+		clo, chi, _ := r.m.Clip(i, lo, hi)
+		seg, err := r.conns[i].SampleAppend(ctx, name, make([]float64, 0, want), clo, chi, want)
+		if err == nil && len(seg) != want {
+			err = fmt.Errorf("cluster: partition %d (%s) returned %d samples, want %d", i, r.m.At(i).Addr, len(seg), want)
+		}
+		segs[k] = seg
+		return err
+	}); err != nil {
+		return dst, err
+	}
+
+	// Stage 4: scatter the per-partition blocks back into draw order.
+	// Within a partition the samples are i.i.d., so handing them out in
+	// block order to the positions that drew that partition preserves the
+	// exact distribution and independence across the t output positions.
+	idx := make([]int, cols)
+	for j := 0; j < t; j++ {
+		k := choice[j]
+		dst = append(dst, segs[k][idx[k]])
+		idx[k]++
+	}
+	return dst, nil
+}
+
+// scatter runs f for every partition in [first, last] concurrently, each
+// under its own call context, counting one upstream request per
+// partition. It returns the joined wrapped errors (nil when all succeed).
+func (r *Router) scatter(first, last int, f func(ctx context.Context, i int) error) error {
+	errs := make([]error, last-first+1)
+	var wg sync.WaitGroup
+	for i := first; i <= last; i++ {
+		r.requests[i].Inc()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := r.callCtx()
+			defer cancel()
+			errs[i-first] = r.wrap(i, f(ctx, i))
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// scatterCols is scatter over alias columns: cols[k] is the partition
+// offset from first, and f receives both the column and the absolute
+// partition index. Columns with no work may return nil without an RPC —
+// f decides; the request counter increments only when f is invoked with
+// work to do, so it counts issued RPCs, not potential ones.
+func (r *Router) scatterCols(first int, cols []int, f func(ctx context.Context, k, i int) error) error {
+	errs := make([]error, len(cols))
+	var wg sync.WaitGroup
+	for k, off := range cols {
+		i := first + off
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := r.callCtx()
+			defer cancel()
+			errs[k] = r.wrap(i, f(ctx, k, i))
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RangeStats sums the in-range (count, mass) probes of every overlapping
+// partition — the same numbers a single node holding the union would
+// report.
+func (r *Router) RangeStats(dataset string, lo, hi float64) (int, float64, error) {
+	if hi < lo {
+		return 0, 0, server.ErrInvalidRange
+	}
+	name, err := r.Resolve(dataset)
+	if err != nil {
+		return 0, 0, err
+	}
+	first, last := r.m.Overlap(lo, hi)
+	if first > last {
+		return 0, 0, nil
+	}
+	n := last - first + 1
+	counts := make([]int, n)
+	masses := make([]float64, n)
+	if err := r.scatter(first, last, func(ctx context.Context, i int) error {
+		clo, chi, _ := r.m.Clip(i, lo, hi)
+		c, m, err := r.conns[i].RangeStats(ctx, name, clo, chi)
+		counts[i-first], masses[i-first] = c, m
+		return err
+	}); err != nil {
+		return 0, 0, err
+	}
+	total, totalMass := 0, 0.0
+	for k := range counts {
+		total += counts[k]
+		totalMass += masses[k]
+	}
+	return total, totalMass, nil
+}
+
+// split groups items by owning partition. A key outside the map's
+// coverage is a routing error surfaced as ErrInvalidRange (the cluster
+// equivalent of a key the deployment cannot store).
+func (r *Router) split(items []server.Item) (map[int][]server.Item, error) {
+	groups := make(map[int][]server.Item)
+	for _, it := range items {
+		i := r.m.Route(it.Key)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: key %v outside the partition map's coverage [%v, %v]",
+				server.ErrInvalidRange, it.Key, r.m.At(0).Lo, r.m.At(r.m.Len()-1).Hi)
+		}
+		groups[i] = append(groups[i], it)
+	}
+	return groups, nil
+}
+
+// mutate applies one per-partition operation for every group
+// concurrently and sums the applied counts. Partitions fail
+// independently: the returned count is what the reachable partitions
+// applied, and the error (wrapping server.ErrUnavailable per failed
+// partition) reports the rest — partial scatter failure never loses the
+// other partitions' results.
+func (r *Router) mutate(groups map[int][]server.Item, op func(ctx context.Context, i int, items []server.Item) (int, error)) (int, error) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	applied := 0
+	var errs []error
+	for i, items := range groups {
+		r.requests[i].Inc()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := r.callCtx()
+			defer cancel()
+			n, err := op(ctx, i, items)
+			mu.Lock()
+			defer mu.Unlock()
+			applied += n
+			if err != nil {
+				errs = append(errs, r.wrap(i, err))
+			}
+		}()
+	}
+	wg.Wait()
+	return applied, errors.Join(errs...)
+}
+
+// Insert routes each item to the partition owning its key and applies the
+// per-partition batches in parallel.
+func (r *Router) Insert(dataset string, items []server.Item) (int, error) {
+	name, err := r.Resolve(dataset)
+	if err != nil {
+		return 0, err
+	}
+	groups, err := r.split(items)
+	if err != nil {
+		return 0, err
+	}
+	return r.mutate(groups, func(ctx context.Context, i int, items []server.Item) (int, error) {
+		return r.conns[i].InsertItems(ctx, name, items)
+	})
+}
+
+// InsertAsync is Insert under the Backend async contract: an empty batch
+// answers inline, routing errors return synchronously, and otherwise
+// done.Deliver runs exactly once from another goroutine.
+func (r *Router) InsertAsync(dataset string, items []server.Item, done server.InsertReply) error {
+	if len(items) == 0 {
+		done.Deliver(0, nil)
+		return nil
+	}
+	name, err := r.Resolve(dataset)
+	if err != nil {
+		return err
+	}
+	groups, err := r.split(items)
+	if err != nil {
+		return err
+	}
+	go func() {
+		done.Deliver(r.mutate(groups, func(ctx context.Context, i int, items []server.Item) (int, error) {
+			return r.conns[i].InsertItems(ctx, name, items)
+		}))
+	}()
+	return nil
+}
+
+// Delete routes each key to its owning partition and applies the
+// per-partition batches in parallel. Keys outside the map's coverage
+// cannot be stored anywhere, so they are skipped rather than rejected —
+// deleting the absent is a no-op on a single node too.
+func (r *Router) Delete(dataset string, keys []float64) (int, error) {
+	name, err := r.Resolve(dataset)
+	if err != nil {
+		return 0, err
+	}
+	groups := make(map[int][]float64)
+	for _, k := range keys {
+		if i := r.m.Route(k); i >= 0 {
+			groups[i] = append(groups[i], k)
+		}
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	removed := 0
+	var errs []error
+	for i, ks := range groups {
+		r.requests[i].Inc()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := r.callCtx()
+			defer cancel()
+			n, err := r.conns[i].Delete(ctx, name, ks)
+			mu.Lock()
+			defer mu.Unlock()
+			removed += n
+			if err != nil {
+				errs = append(errs, r.wrap(i, err))
+			}
+		}()
+	}
+	wg.Wait()
+	return removed, errors.Join(errs...)
+}
+
+// Update routes each re-weight to the partition owning its key.
+func (r *Router) Update(dataset string, items []server.Item) (int, error) {
+	name, err := r.Resolve(dataset)
+	if err != nil {
+		return 0, err
+	}
+	groups, err := r.split(items)
+	if err != nil {
+		return 0, err
+	}
+	return r.mutate(groups, func(ctx context.Context, i int, items []server.Item) (int, error) {
+		return r.conns[i].Update(ctx, name, items)
+	})
+}
+
+// Snapshot answers ErrNotDurable: durability is per node, owned by each
+// node's own WAL and snapshot cycle, not orchestrated through the router.
+func (r *Router) Snapshot(dataset string) (server.SnapshotInfo, error) {
+	if _, err := r.Resolve(dataset); err != nil {
+		return server.SnapshotInfo{}, err
+	}
+	return server.SnapshotInfo{}, server.ErrNotDurable
+}
+
+// Stats polls every node and merges their per-dataset stats into one
+// cluster view: sizes, masses, and counters sum; key bounds take the
+// cluster-wide min and max. Unreachable nodes are skipped — stats are
+// observability, and a partial view beats none — but each skip counts a
+// partition failure. As a side effect the partition map's cached
+// (count, mass) figures refresh, so a periodic Stats call doubles as the
+// map refresh loop.
+func (r *Router) Stats() server.Stats {
+	n := r.m.Len()
+	nodeStats := make([]*server.Stats, n)
+	_ = r.scatter(0, n-1, func(ctx context.Context, i int) error {
+		st, err := r.conns[i].Stats(ctx)
+		if err != nil {
+			return err
+		}
+		nodeStats[i] = &st
+		return nil
+	})
+	now := time.Now()
+	merged := make(map[string]*server.DatasetStats)
+	var order []string
+	for i, st := range nodeStats {
+		if st == nil {
+			continue
+		}
+		partKeys, partMass := 0, 0.0
+		for _, ds := range st.Datasets {
+			partKeys += ds.Len
+			partMass += ds.Mass
+			dst, ok := merged[ds.Name]
+			if !ok {
+				cp := ds
+				cp.Durable = false // cluster-level snapshots are not a thing
+				cp.Persist = nil
+				merged[ds.Name] = &cp
+				order = append(order, ds.Name)
+				continue
+			}
+			mergeDatasetStats(dst, ds)
+		}
+		r.m.Update(i, partKeys, partMass, now)
+	}
+	sort.Strings(order)
+	out := server.Stats{Datasets: make([]server.DatasetStats, 0, len(order))}
+	for _, name := range order {
+		out.Datasets = append(out.Datasets, *merged[name])
+	}
+	return out
+}
+
+// mergeDatasetStats folds one node's view of a dataset into the cluster
+// aggregate.
+func mergeDatasetStats(dst *server.DatasetStats, ds server.DatasetStats) {
+	dst.Len += ds.Len
+	dst.Shards += ds.Shards
+	dst.Mass += ds.Mass
+	if v, ok := ds.MinKey.(float64); ok {
+		if cur, ok := dst.MinKey.(float64); !ok || v < cur {
+			dst.MinKey = v
+		}
+	}
+	if v, ok := ds.MaxKey.(float64); ok {
+		if cur, ok := dst.MaxKey.(float64); !ok || v > cur {
+			dst.MaxKey = v
+		}
+	}
+	dst.SampleRequests += ds.SampleRequests
+	dst.SampleRejected += ds.SampleRejected
+	dst.SampleBatches += ds.SampleBatches
+	dst.SamplesReturned += ds.SamplesReturned
+	if ds.MaxCoalesced > dst.MaxCoalesced {
+		dst.MaxCoalesced = ds.MaxCoalesced
+	}
+	dst.InsertRequests += ds.InsertRequests
+	dst.InsertRejected += ds.InsertRejected
+	dst.InsertBatches += ds.InsertBatches
+	dst.ItemsInserted += ds.ItemsInserted
+	dst.DeleteRequests += ds.DeleteRequests
+	dst.KeysDeleted += ds.KeysDeleted
+	dst.UpdateRequests += ds.UpdateRequests
+	dst.KeysUpdated += ds.KeysUpdated
+}
+
+// AppendMetrics appends the router's Prometheus exposition: the partition
+// count, per-partition upstream request and failure counters, and the
+// last refreshed per-partition key/mass figures.
+func (r *Router) AppendMetrics(dst []byte) []byte {
+	b := metrics.NewBuilder(dst)
+	n := r.m.Len()
+	b.Family("irsd_cluster_partitions", "Partitions in the routing map.", "gauge")
+	b.Val("irsd_cluster_partitions", float64(n))
+	b.Family("irsd_cluster_partition_requests_total", "Upstream requests routed to each partition's node.", "counter")
+	for i := 0; i < n; i++ {
+		b.Val("irsd_cluster_partition_requests_total", float64(r.requests[i].Load()),
+			"partition", strconv.Itoa(i), "addr", r.m.At(i).Addr)
+	}
+	b.Family("irsd_cluster_partition_failures_total", "Upstream requests that found the node unreachable.", "counter")
+	for i := 0; i < n; i++ {
+		b.Val("irsd_cluster_partition_failures_total", float64(r.failures[i].Load()),
+			"partition", strconv.Itoa(i), "addr", r.m.At(i).Addr)
+	}
+	b.Family("irsd_cluster_partition_keys", "Keys per partition at the last stats refresh.", "gauge")
+	for i := 0; i < n; i++ {
+		c, _, _ := r.m.Cached(i)
+		b.Val("irsd_cluster_partition_keys", float64(c),
+			"partition", strconv.Itoa(i), "addr", r.m.At(i).Addr)
+	}
+	b.Family("irsd_cluster_partition_mass", "Sampling mass per partition at the last stats refresh.", "gauge")
+	for i := 0; i < n; i++ {
+		_, m, _ := r.m.Cached(i)
+		b.Val("irsd_cluster_partition_mass", m,
+			"partition", strconv.Itoa(i), "addr", r.m.At(i).Addr)
+	}
+	return b.Bytes()
+}
+
+// Close closes every node connection.
+func (r *Router) Close() error {
+	errs := make([]error, len(r.conns))
+	for i, c := range r.conns {
+		errs[i] = c.Close()
+	}
+	return errors.Join(errs...)
+}
+
+// The router is the cluster-tier Backend — this assertion is the
+// contract that lets server.NewProxy and irsnet.NewServer serve it with
+// the node transports unchanged.
+var _ server.Backend = (*Router)(nil)

@@ -75,6 +75,13 @@ func (d *stubDataset) InsertItems(items []Item[int]) error {
 
 func (d *stubDataset) DeleteKeys(keys []int) int { return len(keys) }
 
+func (d *stubDataset) RangeStats(lo, hi int) (int, float64) {
+	n := d.Len()
+	return n, float64(n)
+}
+
+func (d *stubDataset) KeyBounds() (int, int, bool) { return 0, 0, false }
+
 func (d *stubDataset) UpdateWeights(items []Item[int]) int { return len(items) }
 
 func (d *stubDataset) ExportItems(dst []Item[int]) []Item[int] { return dst }

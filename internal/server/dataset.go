@@ -53,6 +53,13 @@ type Dataset[K cmp.Ordered] interface {
 	// point-in-time export (unweighted datasets report unit weights). This
 	// is the state a snapshot serializes; it pauses writers briefly.
 	ExportItems(dst []Item[K]) []Item[K]
+	// RangeStats returns the number of keys and the total sampling mass in
+	// [lo, hi] (the key count for unweighted datasets, the range's total
+	// weight for weighted ones) against one consistent snapshot.
+	RangeStats(lo, hi K) (count int, mass float64)
+	// KeyBounds returns the smallest and largest stored keys; ok is false
+	// when the dataset is empty.
+	KeyBounds() (lo, hi K, ok bool)
 	// Len returns the number of stored items.
 	Len() int
 	// Stats returns the structure's topology snapshot.
@@ -114,6 +121,9 @@ func (d *unweightedDataset[K]) ExportItems(dst []Item[K]) []Item[K] {
 	}
 	return dst
 }
+
+func (d *unweightedDataset[K]) RangeStats(lo, hi K) (int, float64) { return d.c.RangeStats(lo, hi) }
+func (d *unweightedDataset[K]) KeyBounds() (K, K, bool)            { return d.c.KeyBounds() }
 
 func (d *unweightedDataset[K]) DeleteKeys(keys []K) int { return d.c.DeleteBatch(keys) }
 func (d *unweightedDataset[K]) Len() int                { return d.c.Len() }
@@ -178,6 +188,9 @@ func (d *weightedDataset[K]) ExportItems(dst []Item[K]) []Item[K] {
 	}
 	return dst
 }
+
+func (d *weightedDataset[K]) RangeStats(lo, hi K) (int, float64) { return d.w.RangeStats(lo, hi) }
+func (d *weightedDataset[K]) KeyBounds() (K, K, bool)            { return d.w.KeyBounds() }
 
 func (d *weightedDataset[K]) DeleteKeys(keys []K) int { return d.w.DeleteBatch(keys) }
 func (d *weightedDataset[K]) Len() int                { return d.w.Len() }

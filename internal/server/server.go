@@ -66,6 +66,11 @@ var (
 	ErrOverloaded = errors.New("server: request queue full")
 	// ErrShuttingDown: the core is draining; no new work is admitted.
 	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrUnavailable: an upstream node a cluster router needed could not be
+	// reached. Single-node serving never produces it; the router wraps
+	// transport failures in it so clients get one typed, transport-invariant
+	// answer for "a partition is down".
+	ErrUnavailable = errors.New("server: upstream node unavailable")
 	// ErrInvalidWeight: an insert carried a negative, NaN, or infinite
 	// weight for a weighted dataset.
 	ErrInvalidWeight = weighted.ErrInvalidWeight
@@ -560,6 +565,23 @@ func logErr(err error) error {
 		return ErrShuttingDown
 	}
 	return err
+}
+
+// RangeStats returns the number of keys and the total sampling mass in
+// [lo, hi] of the named dataset — stage 1 of the exact cross-partition
+// multinomial, exposed so a cluster router can split a query's samples
+// across nodes in proportion to in-range mass. It bypasses the coalescer:
+// the engines answer it in O(shards · log n) under read locks.
+func (c *Core[K]) RangeStats(name string, lo, hi K) (int, float64, error) {
+	if hi < lo {
+		return 0, 0, ErrInvalidRange
+	}
+	st, err := c.lookup(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	n, m := st.ds.RangeStats(lo, hi)
+	return n, m, nil
 }
 
 // Stats returns a snapshot of every dataset's serving counters and

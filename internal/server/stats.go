@@ -62,6 +62,16 @@ type DatasetStats struct {
 	Len    int    `json:"len"`
 	Shards int    `json:"shards"`
 
+	// Mass is the dataset's total sampling mass: Len for unweighted
+	// datasets, the sum of weights for weighted ones. MinKey/MaxKey are the
+	// stored key bounds, omitted while the dataset is empty; a cluster
+	// router reads them to sanity-check its partition assignment. They are
+	// typed any because the stats document is shared across key types; for
+	// the float64 serving stack they carry float64s.
+	Mass   float64 `json:"mass"`
+	MinKey any     `json:"min_key,omitempty"`
+	MaxKey any     `json:"max_key,omitempty"`
+
 	SampleRequests  uint64 `json:"sample_requests"`
 	SampleRejected  uint64 `json:"sample_rejected"` // backpressure rejections
 	SampleBatches   uint64 `json:"sample_batches"`  // backend SampleMany calls
@@ -137,6 +147,10 @@ func (st *dsState[K]) snapshot() DatasetStats {
 
 		UpdateRequests: c.updateRequests.Load(),
 		KeysUpdated:    c.keysUpdated.Load(),
+	}
+	if lo, hi, ok := st.ds.KeyBounds(); ok {
+		out.MinKey, out.MaxKey = lo, hi
+		_, out.Mass = st.ds.RangeStats(lo, hi)
 	}
 	if st.store != nil {
 		out.Durable = true

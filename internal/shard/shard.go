@@ -256,6 +256,49 @@ func (c *engine[K, I, B]) Count(lo, hi K) int {
 	return total
 }
 
+// RangeStats returns the number of keys and the total sampling mass in
+// [lo, hi] (key count for the unweighted backend, total weight for the
+// weighted one) — the same per-shard quantities stage 1 of a sampling
+// query sums, exposed for callers that partition the key space above the
+// engine (the cluster router). All overlapping shards are read-locked
+// together, so the pair is a consistent snapshot.
+func (c *engine[K, I, B]) RangeStats(lo, hi K) (count int, mass float64) {
+	if hi < lo {
+		return 0, 0
+	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	sa, sb := c.shardRange(lo, hi)
+	c.rlockShards(sa, sb)
+	defer c.runlockShards(sa, sb)
+	for i := sa; i <= sb; i++ {
+		n, m := c.shards[i].b.RangeStats(lo, hi)
+		count += n
+		mass += m
+	}
+	return count, mass
+}
+
+// KeyBounds returns the smallest and largest stored keys. ok is false when
+// the structure is empty, in which case lo and hi are zero values.
+func (c *engine[K, I, B]) KeyBounds() (lo, hi K, ok bool) {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	c.rlockShards(0, len(c.shards)-1)
+	defer c.runlockShards(0, len(c.shards)-1)
+	for _, sh := range c.shards {
+		if sh.b.Len() == 0 {
+			continue
+		}
+		if !ok {
+			lo = sh.b.MinKey()
+			ok = true
+		}
+		hi = sh.b.MaxKey()
+	}
+	return lo, hi, ok
+}
+
 // AppendRange appends all keys in [lo, hi] in sorted order (shards are
 // contiguous key intervals, so per-shard sorted output concatenates to a
 // globally sorted result).

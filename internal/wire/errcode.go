@@ -37,6 +37,8 @@ func ErrCode(err error) (code string, status int) {
 		return "overloaded", http.StatusServiceUnavailable
 	case errors.Is(err, srv.ErrShuttingDown):
 		return "shutting_down", http.StatusServiceUnavailable
+	case errors.Is(err, srv.ErrUnavailable):
+		return "unavailable", http.StatusBadGateway
 	case errors.Is(err, ErrFrame):
 		return "bad_request", http.StatusBadRequest
 	default:
@@ -58,6 +60,7 @@ var CodeToErr = map[string]error{
 	"empty_range":       srv.ErrEmptyRange,
 	"overloaded":        srv.ErrOverloaded,
 	"shutting_down":     srv.ErrShuttingDown,
+	"unavailable":       srv.ErrUnavailable,
 }
 
 // EncodeError appends the TCP transport's error payload: the wire code,

@@ -42,10 +42,17 @@ const ContentTypeBinary = "application/x-irs-bin"
 // Item is one insert element as the serving core stores it.
 type Item = srv.Item[float64]
 
-// Frame kind bytes (first byte of every request frame).
+// Frame kind bytes (first byte of every request frame). Sample and insert
+// are the hot paths; delete, update, stats, and rangestats are cold-path
+// frames (coldframes.go) added so the TCP transport covers the full client
+// surface the unified client interface promises.
 const (
-	FrameSample = 0x01
-	FrameInsert = 0x02
+	FrameSample     = 0x01
+	FrameInsert     = 0x02
+	FrameDelete     = 0x03
+	FrameUpdate     = 0x04
+	FrameStats      = 0x05
+	FrameRangeStats = 0x06
 )
 
 // ErrFrame wraps every decode failure so transports can answer

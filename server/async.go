@@ -26,7 +26,7 @@ type (
 // multiplex many requests over one connection, where the connection's
 // reader goroutine must never park behind a flush.
 func (s *Server) SampleAsync(dataset string, dst []float64, lo, hi float64, t int, done SampleReply) error {
-	return s.core.SampleAppendAsync(dataset, dst, lo, hi, t, done)
+	return s.backend.SampleAppendAsync(dataset, dst, lo, hi, t, done)
 }
 
 // InsertAsync submits an insert without blocking for the coalesced flush,
@@ -34,5 +34,5 @@ func (s *Server) SampleAsync(dataset string, dst []float64, lo, hi float64, t in
 // inline (done.Deliver(0, nil) runs before InsertAsync returns). The items
 // slice must stay unmutated until done is invoked.
 func (s *Server) InsertAsync(dataset string, items []Item, done InsertReply) error {
-	return s.core.InsertAsync(dataset, items, done)
+	return s.backend.InsertAsync(dataset, items, done)
 }

@@ -132,6 +132,31 @@ func (c *Client) insertBinary(ctx context.Context, req wire.InsertReq) (int, err
 	return wire.DecodeInsertResponse(body)
 }
 
+// RangeStats returns the in-range key count and sampling mass of [lo, hi]
+// — the probe the cluster router splits its cross-partition multinomial
+// with. Binary clients carry it as a rangestats frame.
+func (c *Client) RangeStats(ctx context.Context, dataset string, lo, hi float64) (int, float64, error) {
+	if c.Binary {
+		buf := wire.GetBuf()
+		defer wire.PutBuf(buf)
+		frame, err := wire.EncodeRangeStatsRequest((*buf)[:0], wire.RangeStatsReq{Dataset: dataset, Lo: lo, Hi: hi})
+		if err != nil {
+			return 0, 0, err
+		}
+		*buf = frame
+		body, err := c.postFrame(ctx, "/rangestats", frame, buf)
+		if err != nil {
+			return 0, 0, err
+		}
+		return wire.DecodeRangeStatsResponse(body)
+	}
+	var resp RangeStatsResponse
+	if err := c.post(ctx, "/rangestats", RangeStatsRequest{Dataset: dataset, Lo: lo, Hi: hi}, &resp); err != nil {
+		return 0, 0, err
+	}
+	return resp.Count, resp.Mass, nil
+}
+
 // Delete removes one occurrence of each key, returning how many were
 // present and removed.
 func (c *Client) Delete(ctx context.Context, dataset string, keys []float64) (int, error) {
@@ -166,6 +191,19 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 		return out, err
 	}
 	return out, c.do(req, &out)
+}
+
+// Close releases the client's idle connections. The client stays usable —
+// later requests simply re-dial — so Close is about returning pooled
+// sockets promptly, matching the irsnet client's surface for the unified
+// client interface.
+func (c *Client) Close() error {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = sharedPooledClient
+	}
+	hc.CloseIdleConnections()
+	return nil
 }
 
 // post marshals in, POSTs it, and decodes the 2xx body into out (or a

@@ -78,6 +78,9 @@ type DurableOptions struct {
 // records replay through persist's reused decode buffer — so boot-time
 // memory is the dataset itself, not a second copy of it.
 func (s *Server) AddDurableUnweighted(name string, opts DurableOptions) (*irs.Concurrent[float64], Recovery, error) {
+	if s.core == nil {
+		return nil, Recovery{}, ErrProxy
+	}
 	begin := time.Now()
 	var (
 		keys []float64
@@ -142,6 +145,9 @@ func (s *Server) AddDurableUnweighted(name string, opts DurableOptions) (*irs.Co
 // weight updates are logged too, and recovery restores the exact
 // (key, weight) multiset.
 func (s *Server) AddDurableWeighted(name string, opts DurableOptions) (*irs.WeightedConcurrent[float64], Recovery, error) {
+	if s.core == nil {
+		return nil, Recovery{}, ErrProxy
+	}
 	begin := time.Now()
 	var (
 		items []weighted.Item[float64]

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -37,9 +38,9 @@ func (o Options) withDefaults() Options {
 }
 
 // Client is the typed client of the irsnet protocol, presenting the same
-// Sample/SampleAppend/InsertKeys/InsertItems surface as the HTTP client
-// (server.Client) so callers and test suites can treat the transport as a
-// third encoding. It is safe for any number of concurrent goroutines:
+// surface as the HTTP client (server.Client) — both satisfy the unified
+// client interfaces in package client — so callers and test suites can
+// treat the transport as a third encoding. It is safe for any number of concurrent goroutines:
 // requests are pipelined over a small pool of persistent connections and
 // matched to responses by ID, out of order. Connections dial lazily and
 // re-dial after breaking; a request that fails before any of its bytes
@@ -97,7 +98,7 @@ func (c *Client) Sample(ctx context.Context, dataset string, lo, hi float64, t i
 // unchanged.
 func (c *Client) SampleAppend(ctx context.Context, dataset string, dst []float64, lo, hi float64, t int) ([]float64, error) {
 	cl := getCall()
-	cl.sample = true
+	cl.kind = callSample
 	cl.dst = dst
 	buf := wire.GetBuf()
 	b := appendReqHeader((*buf)[:0])
@@ -130,10 +131,35 @@ func (c *Client) InsertItems(ctx context.Context, dataset string, items []server
 }
 
 func (c *Client) insert(ctx context.Context, req wire.InsertReq) (int, error) {
+	return c.countCall(ctx, func(b []byte) ([]byte, error) {
+		return wire.EncodeInsertRequest(b, req)
+	})
+}
+
+// Delete removes one occurrence of each key, returning how many were
+// present and removed.
+func (c *Client) Delete(ctx context.Context, dataset string, keys []float64) (int, error) {
+	return c.countCall(ctx, func(b []byte) ([]byte, error) {
+		return wire.EncodeDeleteRequest(b, wire.DeleteReq{Dataset: dataset, Keys: keys})
+	})
+}
+
+// Update sets the weight of one occurrence of each item's key on a
+// weighted dataset, returning how many keys were present and re-weighted.
+// Unweighted datasets answer ErrNotWeighted.
+func (c *Client) Update(ctx context.Context, dataset string, items []server.Item) (int, error) {
+	return c.countCall(ctx, func(b []byte) ([]byte, error) {
+		return wire.EncodeUpdateRequest(b, wire.UpdateReq{Dataset: dataset, Items: items})
+	})
+}
+
+// countCall runs one request whose response is a u32 count — the shape
+// insert, delete, and update share.
+func (c *Client) countCall(ctx context.Context, encode func([]byte) ([]byte, error)) (int, error) {
 	cl := getCall()
 	buf := wire.GetBuf()
 	b := appendReqHeader((*buf)[:0])
-	b, err := wire.EncodeInsertRequest(b, req)
+	b, err := encode(b)
 	*buf = b
 	if err == nil {
 		err = c.roundTrip(ctx, buf, cl)
@@ -146,6 +172,50 @@ func (c *Client) insert(ctx context.Context, req wire.InsertReq) (int, error) {
 	n, err := cl.n, cl.err
 	putCall(cl)
 	return n, err
+}
+
+// Stats fetches the serving snapshot of every dataset. The document
+// travels as JSON inside a stats frame — it is a scrape, not a hot path.
+func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
+	cl := getCall()
+	cl.kind = callStats
+	buf := wire.GetBuf()
+	b := appendReqHeader((*buf)[:0])
+	b = wire.EncodeStatsRequest(b)
+	*buf = b
+	err := c.roundTrip(ctx, buf, cl)
+	wire.PutBuf(buf)
+	if err != nil {
+		putCall(cl)
+		return server.Stats{}, err
+	}
+	out, err := cl.stats, cl.err
+	cl.stats = server.Stats{}
+	putCall(cl)
+	return out, err
+}
+
+// RangeStats returns the in-range key count and sampling mass of [lo, hi]
+// — the probe the cluster router splits its cross-partition multinomial
+// with.
+func (c *Client) RangeStats(ctx context.Context, dataset string, lo, hi float64) (int, float64, error) {
+	cl := getCall()
+	cl.kind = callRangeStats
+	buf := wire.GetBuf()
+	b := appendReqHeader((*buf)[:0])
+	b, err := wire.EncodeRangeStatsRequest(b, wire.RangeStatsReq{Dataset: dataset, Lo: lo, Hi: hi})
+	*buf = b
+	if err == nil {
+		err = c.roundTrip(ctx, buf, cl)
+	}
+	wire.PutBuf(buf)
+	if err != nil {
+		putCall(cl)
+		return 0, 0, err
+	}
+	n, mass, err := cl.n, cl.mass, cl.err
+	putCall(cl)
+	return n, mass, err
 }
 
 // appendReqHeader reserves the message envelope (length + ID, patched at
@@ -355,9 +425,14 @@ func (cc *clientConn) complete(id uint64, status byte, payload []byte) {
 	}
 	switch status {
 	case statusOK:
-		if cl.sample {
+		switch cl.kind {
+		case callSample:
 			cl.samples, cl.err = wire.DecodeSampleResponse(payload, cl.dst)
-		} else {
+		case callStats:
+			cl.err = json.Unmarshal(payload, &cl.stats)
+		case callRangeStats:
+			cl.n, cl.mass, cl.err = wire.DecodeRangeStatsResponse(payload)
+		default:
 			cl.n, cl.err = wire.DecodeInsertResponse(payload)
 		}
 	case statusErr:
@@ -373,15 +448,27 @@ func (cc *clientConn) complete(id uint64, status byte, payload []byte) {
 	cl.done <- struct{}{}
 }
 
+// Response-decode kinds of a call. The zero value is callCount — the u32
+// count shape insert, delete, and update share — so pooled calls default
+// correctly after reset.
+const (
+	callCount = iota
+	callSample
+	callStats
+	callRangeStats
+)
+
 // call is one in-flight request's completion state. The done channel is
 // 1-buffered and receives exactly one completion per round trip, so calls
 // recycle through a pool.
 type call struct {
 	done    chan struct{}
-	sample  bool
+	kind    uint8
 	dst     []float64 // sample: caller's append target
 	samples []float64 // sample result
-	n       int       // insert result
+	n       int       // count result (insert/delete/update/rangestats count)
+	mass    float64   // rangestats mass
+	stats   server.Stats
 	err     error
 }
 
@@ -390,6 +477,6 @@ var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}
 func getCall() *call { return callPool.Get().(*call) }
 
 func putCall(cl *call) {
-	cl.sample, cl.dst, cl.samples, cl.n, cl.err = false, nil, nil, 0, nil
+	cl.kind, cl.dst, cl.samples, cl.n, cl.mass, cl.err = callCount, nil, nil, 0, 0, nil
 	callPool.Put(cl)
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -288,9 +289,105 @@ func (c *conn) dispatch(id uint64, frame []byte) {
 			wire.PutItems(items)
 			c.sendErr(id, err)
 		}
+	// The cold-path frames (delete, update, stats, rangestats) each run on
+	// their own goroutine against the backend's synchronous methods: they
+	// are rare (operational tooling, router probes), so a goroutine per
+	// request is the right trade against threading four more shapes through
+	// the async core — and the reader still never parks behind one.
+	case wire.FrameDelete:
+		keys := wire.GetF64()
+		rawName, ks, err := wire.DecodeDeleteRequest(frame, (*keys)[:0])
+		*keys = ks
+		if err != nil {
+			wire.PutF64(keys)
+			c.sendErr(id, err)
+			return
+		}
+		name := c.srv.names.intern(rawName)
+		c.startCold(id, func(b []byte) ([]byte, error) {
+			n, err := c.srv.backend.Delete(name, *keys)
+			wire.PutF64(keys)
+			if err != nil {
+				return b, err
+			}
+			return wire.EncodeDeleteResponse(b, n), nil
+		})
+	case wire.FrameUpdate:
+		items := wire.GetItems()
+		rawName, its, err := wire.DecodeUpdateRequest(frame, (*items)[:0])
+		*items = its
+		if err != nil {
+			wire.PutItems(items)
+			c.sendErr(id, err)
+			return
+		}
+		name := c.srv.names.intern(rawName)
+		c.startCold(id, func(b []byte) ([]byte, error) {
+			n, err := c.srv.backend.Update(name, *items)
+			wire.PutItems(items)
+			if err != nil {
+				return b, err
+			}
+			return wire.EncodeUpdateResponse(b, n), nil
+		})
+	case wire.FrameStats:
+		if err := wire.DecodeStatsRequest(frame); err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		c.startCold(id, func(b []byte) ([]byte, error) {
+			doc, err := json.Marshal(c.srv.backend.Stats())
+			if err != nil {
+				return b, err
+			}
+			return append(b, doc...), nil
+		})
+	case wire.FrameRangeStats:
+		rawName, lo, hi, err := wire.DecodeRangeStatsRequest(frame)
+		if err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		name := c.srv.names.intern(rawName)
+		c.startCold(id, func(b []byte) ([]byte, error) {
+			n, mass, err := c.srv.backend.RangeStats(name, lo, hi)
+			if err != nil {
+				return b, err
+			}
+			return wire.EncodeRangeStatsResponse(b, n, mass), nil
+		})
 	default:
 		c.sendErr(id, fmt.Errorf("%w: unknown frame kind 0x%02x", wire.ErrFrame, frame[0]))
 	}
+}
+
+// startCold answers one cold-path request on its own goroutine. run
+// appends the success payload to b (the prepared response envelope) and is
+// responsible for recycling any pooled buffers it captured; on error the
+// envelope is discarded and the error response takes its place.
+func (c *conn) startCold(id uint64, run func(b []byte) ([]byte, error)) {
+	c.inflight.Add(1)
+	c.srv.inst.inflight.Add(1)
+	go func() {
+		defer c.inflight.Done()
+		start := time.Now()
+		buf := wire.GetBuf()
+		b := (*buf)[:0]
+		b = wire.AppendU32(b, 0) // length, patched below
+		b = wire.AppendU64(b, id)
+		b = append(b, statusOK)
+		b, err := run(b)
+		if err != nil {
+			wire.PutBuf(buf)
+			c.sendErr(id, err)
+		} else {
+			binary.LittleEndian.PutUint32(b[0:4], uint32(len(b)-4))
+			*buf = b
+			c.send(buf)
+		}
+		c.srv.inst.reqSeconds.Observe(time.Since(start))
+		c.srv.inst.inflight.Add(-1)
+	}()
 }
 
 // sendErr encodes and enqueues one error response. Errors are off the hot

@@ -163,7 +163,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	buf := s.appendOwnMetrics(make([]byte, 0, 16<<10))
-	buf = s.core.AppendMetrics(buf)
+	buf = s.backend.AppendMetrics(buf)
 	s.obs.mu.Lock()
 	appenders := s.obs.appenders
 	s.obs.mu.Unlock()

@@ -37,6 +37,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"strings"
@@ -80,29 +81,83 @@ var (
 	ErrShuttingDown     = srv.ErrShuttingDown
 	ErrNotWeighted      = srv.ErrNotWeighted
 	ErrNotDurable       = srv.ErrNotDurable
+	ErrUnavailable      = srv.ErrUnavailable
 )
+
+// ErrProxy rejects dataset registration on a proxy Server (NewProxy):
+// proxies have no local core to register into — datasets live on the nodes
+// behind the backend.
+var ErrProxy = errors.New("server: proxy servers cannot register datasets")
 
 // maxBodyBytes bounds request bodies; a megabyte-scale insert batch is the
 // intended granularity, anything larger should arrive as several requests.
 const maxBodyBytes = 8 << 20
 
-// Server is the HTTP serving layer: register datasets, then serve it like
-// any http.Handler. Safe for concurrent use once serving has started;
-// AddUnweighted/AddWeighted are intended for setup time.
+// Backend is the request-serving surface the transport layers (this
+// package's HTTP handlers and server/irsnet's TCP dispatch) are written
+// against. The local serving core (*internal/server.Core[float64])
+// satisfies it directly; a cluster router (internal/cluster.Router)
+// satisfies it by fanning requests out to the nodes owning each key range.
+// Everything transport-specific — encodings, wire codes, probes, pooled
+// buffers — stays above this line, so irsrouter serves the exact protocols
+// irsd does without duplicating a handler.
+//
+// Contract notes: SampleAppend appends to dst and returns dst unchanged on
+// error; the Async forms follow internal/server's Reply contract
+// (synchronous validation errors mean done never runs, otherwise
+// done.Deliver runs exactly once); Stats omits the ServerInfo block (the
+// transport layer that knows the process identity fills it in).
+type Backend interface {
+	SampleAppend(dataset string, dst []float64, lo, hi float64, t int) ([]float64, error)
+	SampleAppendAsync(dataset string, dst []float64, lo, hi float64, t int, done SampleReply) error
+	Insert(dataset string, items []Item) (int, error)
+	InsertAsync(dataset string, items []Item, done InsertReply) error
+	Delete(dataset string, keys []float64) (int, error)
+	Update(dataset string, items []Item) (int, error)
+	RangeStats(dataset string, lo, hi float64) (count int, mass float64, err error)
+	Resolve(dataset string) (string, error)
+	Snapshot(dataset string) (SnapshotInfo, error)
+	Stats() Stats
+	AppendMetrics(dst []byte) []byte
+	Close() error
+}
+
+// Server is the HTTP serving layer: register datasets (or front a Backend
+// via NewProxy), then serve it like any http.Handler. Safe for concurrent
+// use once serving has started; AddUnweighted/AddWeighted are intended for
+// setup time.
 type Server struct {
-	core *srv.Core[float64]
-	mux  *http.ServeMux
-	obs  observe
+	core    *srv.Core[float64] // nil on proxy servers
+	backend Backend
+	mux     *http.ServeMux
+	obs     observe
 }
 
 // New returns a Server with no datasets.
 func New(cfg Config) *Server {
-	s := &Server{core: srv.NewCore[float64](cfg), mux: http.NewServeMux()}
+	core := srv.NewCore[float64](cfg)
+	s := newServer(core)
+	s.core = core
+	return s
+}
+
+// NewProxy returns a Server that serves every endpoint against backend
+// instead of a local core — the seam cmd/irsrouter fronts the cluster
+// router through. Dataset registration (Add*, AddDurable*) is rejected
+// with ErrProxy; everything else, including the TCP transport wrapper
+// (server/irsnet.New), works unchanged.
+func NewProxy(backend Backend) *Server {
+	return newServer(backend)
+}
+
+func newServer(backend Backend) *Server {
+	s := &Server{backend: backend, mux: http.NewServeMux()}
 	s.obs.start = time.Now()
 	s.mux.HandleFunc("/sample", s.handleSample)
 	s.mux.HandleFunc("/insert", s.handleInsert)
 	s.mux.HandleFunc("/delete", s.handleDelete)
 	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/rangestats", s.handleRangeStats)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -114,12 +169,18 @@ func New(cfg Config) *Server {
 // AddUnweighted registers c under name; samples are uniform over range
 // contents and insert weights are ignored.
 func (s *Server) AddUnweighted(name string, c *irs.Concurrent[float64]) error {
+	if s.core == nil {
+		return ErrProxy
+	}
 	return s.core.Add(name, srv.NewUnweightedDataset(c))
 }
 
 // AddWeighted registers w under name; samples are weight-proportional and
 // inserts carry validated weights.
 func (s *Server) AddWeighted(name string, w *irs.WeightedConcurrent[float64]) error {
+	if s.core == nil {
+		return ErrProxy
+	}
 	return s.core.Add(name, srv.NewWeightedDataset(w))
 }
 
@@ -132,14 +193,40 @@ func (s *Server) AddWeighted(name string, w *irs.WeightedConcurrent[float64]) er
 // embedders that never call SetDraining themselves.
 func (s *Server) Close() error {
 	s.SetDraining()
-	return s.core.Close()
+	return s.backend.Close()
 }
 
 // Snapshot takes a point-in-time snapshot of the named durable dataset
 // and compacts the WAL segments it covers — the in-process form of the
 // /snapshot endpoint, used by irsd's background snapshot loop.
-func (s *Server) Snapshot(name string) (srv.SnapshotInfo, error) {
-	return s.core.Snapshot(name)
+func (s *Server) Snapshot(name string) (SnapshotInfo, error) {
+	return s.backend.Snapshot(name)
+}
+
+// Delete removes one occurrence of each key from the named dataset — the
+// in-process form of /delete, used by the TCP transport's delete frame.
+func (s *Server) Delete(dataset string, keys []float64) (int, error) {
+	return s.backend.Delete(dataset, keys)
+}
+
+// Update sets the weight of one occurrence of each item's key on a
+// weighted dataset — the in-process form of /update.
+func (s *Server) Update(dataset string, items []Item) (int, error) {
+	return s.backend.Update(dataset, items)
+}
+
+// RangeStats returns the in-range key count and sampling mass of [lo, hi]
+// — the in-process form of /rangestats.
+func (s *Server) RangeStats(dataset string, lo, hi float64) (int, float64, error) {
+	return s.backend.RangeStats(dataset, lo, hi)
+}
+
+// Stats returns the serving snapshot of every dataset with the process
+// identity block filled in — the in-process form of GET /stats.
+func (s *Server) Stats() Stats {
+	st := s.backend.Stats()
+	st.Server = s.serverInfo()
+	return st
 }
 
 // ServeHTTP implements http.Handler. The four data endpoints are timed
@@ -152,7 +239,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.mux.ServeHTTP(w, r)
 		s.observeRequest(isBinary(r), time.Since(start))
-	case "/snapshot", "/stats", "/metrics", "/healthz", "/readyz":
+	case "/rangestats", "/snapshot", "/stats", "/metrics", "/healthz", "/readyz":
 		s.mux.ServeHTTP(w, r)
 	default:
 		if strings.HasPrefix(r.URL.Path, "/debug/pprof") {
@@ -171,7 +258,7 @@ func (s *Server) resolveName(name string) (string, error) {
 	if name != "" {
 		return name, nil
 	}
-	return s.core.Resolve("")
+	return s.backend.Resolve("")
 }
 
 // isBinary reports whether the request negotiated the binary frames.
@@ -226,7 +313,7 @@ func (s *Server) handleSampleBinary(w http.ResponseWriter, r *http.Request) {
 	}
 	dst := wire.GetF64()
 	defer wire.PutF64(dst)
-	samples, err := s.core.SampleAppend(req.Dataset, (*dst)[:0], req.Lo, req.Hi, req.T)
+	samples, err := s.backend.SampleAppend(req.Dataset, (*dst)[:0], req.Lo, req.Hi, req.T)
 	*dst = samples[:0] // keep any growth for the next request
 	if err != nil {
 		writeCoreError(w, err)
@@ -259,7 +346,7 @@ func (s *Server) handleInsertBinary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	*items = all[:0]
-	n, err := s.core.Insert(string(name), all)
+	n, err := s.backend.Insert(string(name), all)
 	if err != nil {
 		writeCoreError(w, err)
 		return
@@ -283,7 +370,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeCoreError(w, err)
 		return
 	}
-	samples, err := s.core.Sample(name, req.Lo, req.Hi, req.T)
+	samples, err := s.backend.SampleAppend(name, nil, req.Lo, req.Hi, req.T)
 	if err != nil {
 		writeCoreError(w, err)
 		return
@@ -310,7 +397,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		items = append(items, Item{Key: k, Weight: 1})
 	}
 	items = append(items, req.Items...)
-	n, err := s.core.Insert(name, items)
+	n, err := s.backend.Insert(name, items)
 	if err != nil {
 		writeCoreError(w, err)
 		return
@@ -328,7 +415,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeCoreError(w, err)
 		return
 	}
-	n, err := s.core.Delete(name, req.Keys)
+	n, err := s.backend.Delete(name, req.Keys)
 	if err != nil {
 		writeCoreError(w, err)
 		return
@@ -346,12 +433,56 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeCoreError(w, err)
 		return
 	}
-	n, err := s.core.Update(name, req.Items)
+	n, err := s.backend.Update(name, req.Items)
 	if err != nil {
 		writeCoreError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, UpdateResponse{Dataset: name, Updated: n})
+}
+
+// handleRangeStats answers the in-range (count, mass) probe — stage 1 of
+// the cluster router's exact cross-partition multinomial. Binary requests
+// carry a rangestats frame (kind 0x06) and get the binary response; JSON
+// requests mirror the other endpoints' envelope.
+func (s *Server) handleRangeStats(w http.ResponseWriter, r *http.Request) {
+	if isBinary(r) {
+		buf := wire.GetBuf()
+		defer wire.PutBuf(buf)
+		body, ok := readFrame(w, r, buf)
+		if !ok {
+			return
+		}
+		name, lo, hi, err := wire.DecodeRangeStatsRequest(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		count, mass, err := s.backend.RangeStats(string(name), lo, hi)
+		if err != nil {
+			writeCoreError(w, err)
+			return
+		}
+		frame := wire.EncodeRangeStatsResponse(body[:0], count, mass)
+		*buf = frame[:0]
+		writeFrame(w, frame)
+		return
+	}
+	var req RangeStatsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	name, err := s.resolveName(req.Dataset)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	count, mass, err := s.backend.RangeStats(name, req.Lo, req.Hi)
+	if err != nil {
+		writeCoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RangeStatsResponse{Dataset: name, Count: count, Mass: mass})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -364,7 +495,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeCoreError(w, err)
 		return
 	}
-	info, err := s.core.Snapshot(name)
+	info, err := s.backend.Snapshot(name)
 	if err != nil {
 		writeCoreError(w, err)
 		return
@@ -377,9 +508,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	st := s.core.Stats()
-	st.Server = s.serverInfo()
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // readJSON decodes a strict JSON body into dst, answering the error itself

@@ -45,6 +45,21 @@ type UpdateResponse struct {
 	Updated int    `json:"updated"`
 }
 
+// RangeStatsRequest asks for the in-range key count and sampling mass of
+// [Lo, Hi] — the probe a cluster router splits its multinomial with.
+type RangeStatsRequest struct {
+	Dataset string  `json:"dataset,omitempty"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+}
+
+// RangeStatsResponse reports the in-range key count and sampling mass.
+type RangeStatsResponse struct {
+	Dataset string  `json:"dataset"`
+	Count   int     `json:"count"`
+	Mass    float64 `json:"mass"`
+}
+
 // SnapshotRequest triggers a point-in-time snapshot (and WAL compaction)
 // of a durable dataset.
 type SnapshotRequest struct {
