@@ -1,0 +1,207 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	irs "github.com/irsgo/irs"
+	"github.com/irsgo/irs/client"
+	"github.com/irsgo/irs/server"
+	"github.com/irsgo/irs/server/irsnet"
+)
+
+// TestLifecycleHammer is the dynamic-lifecycle race harness: every
+// transport the daemon speaks (HTTP/JSON, HTTP binary, irsnet TCP)
+// hammers a stable dataset with samples, inserts, and deletes while a
+// second dataset is added and dropped in a loop. The contract under test:
+//
+//   - traffic on the stable dataset never fails, at any point of any
+//     add/drop cycle — lifecycle operations on one dataset are invisible
+//     to the others;
+//   - every request touching the churning dataset is answered (no lost
+//     ACKs: an accepted insert resolves to a count or a typed error,
+//     never a hang or a connection reset), and the only errors it may
+//     see are the typed not-found (dropped), empty-range (added but not
+//     yet loaded), or backpressure — never the shutdown error, and never
+//     a transport-level failure;
+//   - once a drop completes, all transports answer exactly the typed
+//     not-found until the next add.
+//
+// Run with -race; the interesting failures here are data races between
+// the drop path and in-flight coalesced requests.
+func TestLifecycleHammer(t *testing.T) {
+	s := server.New(server.Config{})
+	keys := make([]float64, 1000)
+	for i := range keys {
+		keys[i] = float64(i)
+	}
+	stable, err := irs.NewConcurrentFromSortedSeeded(keys, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddUnweighted("stable", stable); err != nil {
+		t.Fatal(err)
+	}
+
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := irsnet.NewServer(s)
+	served := make(chan error, 1)
+	go func() { served <- ts.Serve(l) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := ts.Shutdown(ctx); err != nil {
+			t.Errorf("tcp shutdown: %v", err)
+		}
+		if err := <-served; err != nil {
+			t.Errorf("tcp serve: %v", err)
+		}
+	}()
+
+	conns := make(map[string]client.Conn, 3)
+	for _, enc := range []string{client.EncodingJSON, client.EncodingBinary, client.EncodingTCP} {
+		addr := hs.URL
+		if enc == client.EncodingTCP {
+			addr = l.Addr().String()
+		}
+		c, err := client.Dial(addr, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[enc] = c
+	}
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failure atomic.Pointer[string]
+	report := func(format string, enc string, err error) {
+		msg := enc + ": " + format + ": " + err.Error()
+		failure.CompareAndSwap(nil, &msg)
+	}
+
+	// Stable-dataset workers: one sampler and one mutator per transport.
+	// Zero tolerance — any error is a lifecycle isolation break.
+	for enc, c := range conns {
+		wg.Add(2)
+		go func(enc string, c client.Conn) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Sample(ctx, "stable", 0, 999, 4); err != nil {
+					report("stable sample", enc, err)
+					return
+				}
+				if _, _, err := c.RangeStats(ctx, "stable", 0, 999); err != nil {
+					report("stable rangestats", enc, err)
+					return
+				}
+			}
+		}(enc, c)
+		go func(enc string, c client.Conn, base float64) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := base + float64(i%128)
+				if _, err := c.InsertKeys(ctx, "stable", []float64{k}); err != nil {
+					report("stable insert", enc, err)
+					return
+				}
+				if _, err := c.Delete(ctx, "stable", []float64{k}); err != nil {
+					report("stable delete", enc, err)
+					return
+				}
+			}
+		}(enc, c, 10_000+float64(len(enc))*1_000)
+	}
+
+	// Churn-dataset workers: the dataset flickers in and out of existence
+	// under them. Success, not-found, empty-range, and backpressure are the
+	// whole legal vocabulary.
+	churnOK := func(err error) bool {
+		return err == nil ||
+			errors.Is(err, server.ErrUnknownDataset) ||
+			errors.Is(err, server.ErrEmptyRange) ||
+			errors.Is(err, server.ErrOverloaded)
+	}
+	for enc, c := range conns {
+		wg.Add(1)
+		go func(enc string, c client.Conn) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.InsertKeys(ctx, "churn", []float64{float64(i % 500)}); !churnOK(err) {
+					report("churn insert", enc, err)
+					return
+				}
+				if _, err := c.Sample(ctx, "churn", 0, 500, 2); !churnOK(err) {
+					report("churn sample", enc, err)
+					return
+				}
+				if _, err := c.Delete(ctx, "churn", []float64{float64(i % 500)}); !churnOK(err) {
+					report("churn delete", enc, err)
+					return
+				}
+			}
+		}(enc, c)
+	}
+
+	// The churn driver: add, let traffic land, drop, verify the typed
+	// not-found on every transport, repeat.
+	const cycles = 15
+	for cycle := 0; cycle < cycles; cycle++ {
+		if err := s.AddDataset("churn", cycle%2 == 1); err != nil {
+			t.Fatalf("cycle %d add: %v", cycle, err)
+		}
+		// Land at least one write through each transport so the drop has
+		// real in-flight company.
+		for enc, c := range conns {
+			if _, err := c.InsertKeys(ctx, "churn", []float64{float64(cycle)}); !churnOK(err) {
+				t.Fatalf("cycle %d %s prime insert: %v", cycle, enc, err)
+			}
+		}
+		if err := s.RemoveDataset("churn", false); err != nil {
+			t.Fatalf("cycle %d drop: %v", cycle, err)
+		}
+		// Post-drop, the answer is exactly the typed not-found — on every
+		// transport, not just the in-process registry.
+		for enc, c := range conns {
+			if _, err := c.Sample(ctx, "churn", 0, 500, 1); !errors.Is(err, server.ErrUnknownDataset) {
+				t.Fatalf("cycle %d %s post-drop sample: err = %v, want ErrUnknownDataset", cycle, enc, err)
+			}
+		}
+		if f := failure.Load(); f != nil {
+			t.Fatalf("worker failure during cycle %d: %s", cycle, *f)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	if f := failure.Load(); f != nil {
+		t.Fatalf("worker failure: %s", *f)
+	}
+}

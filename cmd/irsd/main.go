@@ -18,6 +18,19 @@
 //	POST /update    {"dataset":"prio","items":[{"key":1,"weight":9}]}
 //	POST /snapshot  {"dataset":"events"}
 //	GET  /stats
+//	GET  /datasets            list datasets with lifecycle state
+//	POST /datasets            {"dataset":"new","weighted":true}
+//	DELETE /datasets/{name}   drop a dataset (?snapshot=true for a final snapshot)
+//
+// With -config the dataset list comes from a config file instead of
+// -datasets (same element grammar, one per line or comma, # comments;
+// partition lines are ignored so one file can drive irsd and irsrouter).
+// SIGHUP — or a changed mtime when -config-poll is set — re-reads the
+// file and applies the diff atomically: validation failures keep the
+// running config, new datasets are added, removed ones are drained and
+// dropped (durable state gets a final snapshot). The config file is
+// authoritative: datasets added over POST /datasets but absent from the
+// file are dropped on the next reload.
 //
 // With -data-dir set, every dataset is durable: mutations are written
 // ahead to a per-dataset WAL under <data-dir>/<name> (fsync policy from
@@ -105,6 +118,9 @@ func run() int {
 		snapEvery   = flag.Duration("snapshot-every", 15*time.Minute, "background snapshot/compaction period for durable datasets (0 disables)")
 		recoverConc = flag.Int("recover-concurrency", 0, "durable datasets recovered in parallel at boot (0 = GOMAXPROCS)")
 
+		config     = flag.String("config", "", "config file in the -datasets spec grammar (one spec per line, '#' comments); mutually exclusive with -datasets, reloaded on SIGHUP")
+		configPoll = flag.Duration("config-poll", 0, "poll the -config file's mtime this often and reload on change (0 disables; SIGHUP always works)")
+
 		logFormat   = flag.String("log-format", "text", "structured log encoding: text or json")
 		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP address")
 	)
@@ -114,7 +130,7 @@ func run() int {
 	// a durability knob that silently does nothing is worse than an error.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if err := validateFlags(explicit, *dataDir, *fsync, *readHdrTimeout, *idleTimeout, *recoverConc, *tcpAddr, *tcpReadBuf, *logFormat); err != nil {
+	if err := validateFlags(explicit, *dataDir, *fsync, *readHdrTimeout, *idleTimeout, *recoverConc, *tcpAddr, *tcpReadBuf, *logFormat, *config, *configPoll); err != nil {
 		// The logger's format flag may itself be the invalid one; text is
 		// always a safe spelling for the complaint.
 		newLogger("text").Error("invalid flags", "err", err)
@@ -133,8 +149,25 @@ func run() int {
 	if *enablePprof {
 		s.EnablePprof()
 	}
-	names, err := addDatasets(s, logger, *datasets, *shards, *seed, *preload, *dataDir, *fsync, *fsyncIvl, *recoverConc)
+	var policy server.SyncPolicy
+	if *dataDir != "" {
+		var perr error
+		if policy, perr = server.ParseSyncPolicy(*fsync); perr != nil {
+			logger.Error("boot failed", "err", perr)
+			return 1
+		}
+	}
+
+	// The boot dataset list comes from -config when given, -datasets
+	// otherwise — same grammar either way. Partitions in the file belong to
+	// irsrouter and are ignored here, so one file can describe a whole
+	// deployment.
+	list, err := bootDatasets(*config, *datasets)
 	if err != nil {
+		logger.Error("boot failed", "err", err)
+		return 1
+	}
+	if err := addDatasetList(s, logger, list, *shards, *seed, *preload, *dataDir, policy, *fsyncIvl, *recoverConc); err != nil {
 		logger.Error("boot failed", "err", err)
 		// Datasets registered before the failing one may already hold open
 		// WALs (and a durable preload may have appended records): sync and
@@ -144,6 +177,18 @@ func run() int {
 		}
 		return 1
 	}
+	// Runtime-created datasets (POST /datasets, config reload) get the
+	// exact shape a boot-time one would: same shards, seed, and durability
+	// knobs, minus the preload (a boot convenience, not a lifecycle one).
+	s.SetProvisioner(func(name string, weighted bool) error {
+		sp := spec.Dataset{Name: name, Weighted: weighted}
+		if *dataDir == "" {
+			return addMemoryDataset(s, sp, *shards, *seed, 0)
+		}
+		return addDurableDataset(s, logger, sp, *shards, *seed, 0, *dataDir, policy, *fsyncIvl)
+	})
+	// The boot configuration is epoch 1; each successful reload advances it.
+	s.NoteReload(true)
 	// Boot recovery (and any preload) is complete: the daemon is ready the
 	// moment the listeners open. /readyz gates on exactly this.
 	s.SetReady()
@@ -160,11 +205,19 @@ func run() int {
 			for {
 				select {
 				case <-t.C:
-					for _, name := range names {
-						if info, err := s.Snapshot(name); err != nil {
-							logger.Error("background snapshot failed", "dataset", name, "err", err)
-						} else {
+					// The registry is live — runtime adds and drops change the
+					// list — so every tick snapshots whatever is registered now.
+					// A dataset dropped between listing and snapshotting answers
+					// unknown_dataset; skip it, the drop already took its final
+					// snapshot.
+					for _, name := range s.Datasets() {
+						info, err := s.Snapshot(name)
+						switch {
+						case err == nil:
 							logger.Info("snapshot committed", "dataset", name, "items", info.Items, "wal_seq", info.Seq)
+						case errors.Is(err, server.ErrNotDurable), errors.Is(err, server.ErrUnknownDataset):
+						default:
+							logger.Error("background snapshot failed", "dataset", name, "err", err)
 						}
 					}
 				case <-snapStop:
@@ -254,27 +307,63 @@ func run() int {
 			}
 		}
 	}
-	select {
-	case <-ctx.Done():
-		logger.Info("signal received, draining")
-		shutdownBoth()
-		serveErr = <-done
-		if tcpDone != nil {
-			tcpErr = <-tcpDone
+	// Config hot-reload triggers: SIGHUP always (when -config is set), plus
+	// an optional mtime poll. Both funnel into applying the file's dataset
+	// list against the live registry; a bad file is rejected whole and the
+	// running configuration stays in force.
+	hup := make(chan os.Signal, 1)
+	var pollC <-chan time.Time
+	var lastMod time.Time
+	if *config != "" {
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		if st, err := os.Stat(*config); err == nil {
+			lastMod = st.ModTime()
 		}
-	case serveErr = <-done:
-		// HTTP serve failed on its own (listener torn down, accept error):
-		// exactly the case that used to log.Fatalf past the drain below and
-		// lose the last fsync interval's WAL records. Drain the other
-		// transport and fall through to the same close sequence.
-		shutdownBoth()
-		if tcpDone != nil {
-			tcpErr = <-tcpDone
+		if *configPoll > 0 {
+			pt := time.NewTicker(*configPoll)
+			defer pt.Stop()
+			pollC = pt.C
 		}
-	case tcpErr = <-tcpDone:
-		// TCP accept failed; mirror the HTTP failure path.
-		shutdownBoth()
-		serveErr = <-done
+	}
+serve:
+	for {
+		select {
+		case <-ctx.Done():
+			logger.Info("signal received, draining")
+			shutdownBoth()
+			serveErr = <-done
+			if tcpDone != nil {
+				tcpErr = <-tcpDone
+			}
+			break serve
+		case serveErr = <-done:
+			// HTTP serve failed on its own (listener torn down, accept error):
+			// exactly the case that used to log.Fatalf past the drain below and
+			// lose the last fsync interval's WAL records. Drain the other
+			// transport and fall through to the same close sequence.
+			shutdownBoth()
+			if tcpDone != nil {
+				tcpErr = <-tcpDone
+			}
+			break serve
+		case tcpErr = <-tcpDone:
+			// TCP accept failed; mirror the HTTP failure path.
+			shutdownBoth()
+			serveErr = <-done
+			break serve
+		case <-hup:
+			logger.Info("SIGHUP received, reloading config", "config", *config)
+			reloadConfig(s, logger, *config)
+		case <-pollC:
+			st, err := os.Stat(*config)
+			if err != nil || st.ModTime().Equal(lastMod) {
+				continue
+			}
+			lastMod = st.ModTime()
+			logger.Info("config file changed, reloading", "config", *config)
+			reloadConfig(s, logger, *config)
+		}
 	}
 	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		logger.Error("http serve failed", "err", serveErr)
@@ -304,9 +393,18 @@ func run() int {
 // re-open the unbounded-connection hole the defaults exist to close.
 // explicit holds the flag names the user actually set on the command line
 // (flag.Visit), so defaults never trip the validation.
-func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHeaderTimeout, idleTimeout time.Duration, recoverConc int, tcpAddr string, tcpReadBuf int, logFormat string) error {
+func validateFlags(explicit map[string]bool, dataDir, fsyncPolicy string, readHeaderTimeout, idleTimeout time.Duration, recoverConc int, tcpAddr string, tcpReadBuf int, logFormat, config string, configPoll time.Duration) error {
 	if logFormat != "text" && logFormat != "json" {
 		return fmt.Errorf("-log-format %q: want text or json", logFormat)
+	}
+	if explicit["config"] && explicit["datasets"] {
+		return errors.New("-config and -datasets are mutually exclusive (the config file is the dataset list)")
+	}
+	if configPoll < 0 {
+		return errors.New("-config-poll must be >= 0 (0 disables polling)")
+	}
+	if explicit["config-poll"] && config == "" {
+		return errors.New("-config-poll has no effect without -config (there is no file to watch)")
 	}
 	if readHeaderTimeout <= 0 {
 		return errors.New("-read-header-timeout must be positive (a zero http.Server timeout means no limit: any client trickling header bytes pins a connection forever)")
@@ -345,37 +443,38 @@ func kindOf(sp spec.Dataset) string {
 	return "unweighted"
 }
 
-// addDatasets parses "name[:kind]" specs (internal/spec grammar) and
-// registers each dataset —
-// durable when dataDir is set, memory-only otherwise — optionally
-// preloaded with uniform keys. Durable datasets recover concurrently
-// (bounded by recoverConc; 0 means GOMAXPROCS), so a daemon serving many
-// datasets boots in the time of its largest, not their sum. It returns the
-// registered names in spec order.
-func addDatasets(s *server.Server, logger *slog.Logger, specs string, shards int, seed uint64, preload int, dataDir, fsync string, fsyncIvl time.Duration, recoverConc int) ([]string, error) {
-	var policy server.SyncPolicy
-	if dataDir != "" {
-		var err error
-		if policy, err = server.ParseSyncPolicy(fsync); err != nil {
-			return nil, err
-		}
+// bootDatasets resolves the boot dataset list: the -config file when
+// given (its partitions, if any, belong to irsrouter and are skipped),
+// the -datasets specs otherwise. A config with no datasets is a boot
+// error — an irsd serving nothing is a misconfiguration, not a choice.
+func bootDatasets(config, datasets string) ([]spec.Dataset, error) {
+	if config == "" {
+		return spec.ParseDatasets(datasets)
 	}
-	list, err := spec.ParseDatasets(specs)
+	f, err := spec.Load(config)
 	if err != nil {
 		return nil, err
 	}
-	names := make([]string, len(list))
-	for i, sp := range list {
-		names[i] = sp.Name
+	if len(f.Datasets) == 0 {
+		return nil, fmt.Errorf("config %s: no datasets", config)
 	}
+	return f.Datasets, nil
+}
+
+// addDatasetList registers each dataset — durable when dataDir is set,
+// memory-only otherwise — optionally preloaded with uniform keys. Durable
+// datasets recover concurrently (bounded by recoverConc; 0 means
+// GOMAXPROCS), so a daemon serving many datasets boots in the time of its
+// largest, not their sum.
+func addDatasetList(s *server.Server, logger *slog.Logger, list []spec.Dataset, shards int, seed uint64, preload int, dataDir string, policy server.SyncPolicy, fsyncIvl time.Duration, recoverConc int) error {
 	if dataDir == "" {
 		for _, sp := range list {
 			if err := addMemoryDataset(s, sp, shards, seed, preload); err != nil {
-				return nil, err
+				return err
 			}
 			logger.Info("dataset registered", "dataset", sp.Name, "kind", kindOf(sp), "shards", shards, "preload", preload)
 		}
-		return names, nil
+		return nil
 	}
 	// Recover durable datasets in parallel: each owns its directory, and
 	// dataset registration (core.add) is mutex-protected, so the only
@@ -396,10 +495,86 @@ func addDatasets(s *server.Server, logger *slog.Logger, specs string, shards int
 		}()
 	}
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+	return errors.Join(errs...)
+}
+
+// reloadConfig applies the config file against the live registry: datasets
+// named by the file but not registered are created (through the same
+// provisioner the admin endpoint uses), registered datasets the file no
+// longer names are drained and dropped (durable ones with a final
+// compacting snapshot). The reload is atomic with respect to validation —
+// an unreadable or malformed file, an empty dataset list, or a kind
+// change on a live dataset rejects the whole file and the running
+// configuration stays exactly as it was, counted as
+// irsd_config_reloads_total{status="error"}.
+//
+// The file is authoritative: a dataset added at runtime via POST /datasets
+// but absent from the file is dropped by the next reload. Keep the file
+// and the admin surface in agreement, or use only one of them.
+func reloadConfig(s *server.Server, logger *slog.Logger, path string) {
+	fail := func(err error) {
+		s.NoteReload(false)
+		logger.Error("config reload rejected, keeping current config", "config", path, "err", err)
 	}
-	return names, nil
+	f, err := spec.Load(path)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if len(f.Datasets) == 0 {
+		fail(fmt.Errorf("config %s: no datasets", path))
+		return
+	}
+	cur := make(map[string]string) // live name -> kind
+	for _, ds := range s.Stats().Datasets {
+		cur[ds.Name] = ds.Kind
+	}
+	for _, d := range f.Datasets {
+		if kind, live := cur[d.Name]; live && (kind == "weighted") != d.Weighted {
+			fail(fmt.Errorf("dataset %q: cannot change kind %s -> %s across a reload (drop it first)", d.Name, kind, kindOf(d)))
+			return
+		}
+	}
+	// Adds go first so a failing add can roll back to the pre-reload
+	// registry before anything was dropped.
+	var added []string
+	for _, d := range f.Datasets {
+		if _, live := cur[d.Name]; live {
+			continue
+		}
+		if err := s.AddDataset(d.Name, d.Weighted); err != nil {
+			for _, name := range added {
+				if rerr := s.RemoveDataset(name, false); rerr != nil {
+					logger.Error("rollback drop failed", "dataset", name, "err", rerr)
+				}
+			}
+			fail(fmt.Errorf("dataset %q: %w", d.Name, err))
+			return
+		}
+		added = append(added, d.Name)
+	}
+	want := make(map[string]bool, len(f.Datasets))
+	for _, d := range f.Datasets {
+		want[d.Name] = true
+	}
+	var dropped []string
+	ok := true
+	for name := range cur {
+		if want[name] {
+			continue
+		}
+		// The final snapshot both compacts the WAL and makes the drop's
+		// drain durable in one segment-bounded unit.
+		if err := s.RemoveDataset(name, true); err != nil {
+			logger.Error("config reload: drop failed", "dataset", name, "err", err)
+			ok = false
+			continue
+		}
+		dropped = append(dropped, name)
+	}
+	s.NoteReload(ok)
+	logger.Info("config reloaded", "config", path, "added", added, "dropped", dropped,
+		"datasets", len(f.Datasets), "epoch", s.ConfigEpoch(), "ok", ok)
 }
 
 // addMemoryDataset registers one memory-only dataset (the pre-durability

@@ -6,9 +6,10 @@ import (
 )
 
 // TestValidateFlags pins the flag-combination validation: durability knobs
-// without -data-dir, -fsync-interval under a non-interval policy, and
-// non-positive HTTP timeouts (a zero http.Server timeout means "no limit")
-// used to be silently ignored — they must now fail fast at boot.
+// without -data-dir, -fsync-interval under a non-interval policy,
+// non-positive HTTP timeouts (a zero http.Server timeout means "no
+// limit"), and -config given alongside the flags it replaces used to be
+// silently ignored — they must now fail fast at boot.
 func TestValidateFlags(t *testing.T) {
 	set := func(names ...string) map[string]bool {
 		m := make(map[string]bool, len(names))
@@ -29,33 +30,40 @@ func TestValidateFlags(t *testing.T) {
 		tcpAddr     string
 		tcpReadBuf  int
 		logFormat   string
+		config      string
+		configPoll  time.Duration
 		wantErr     bool
 	}{
-		{"defaults, memory-only", set(), "", "always", okTimeout, okTimeout, 0, "", 0, "text", false},
-		{"defaults, durable", set("data-dir"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, "text", false},
-		{"fsync without data-dir", set("fsync"), "", "none", okTimeout, okTimeout, 0, "", 0, "text", true},
-		{"fsync-interval without data-dir", set("fsync-interval"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", true},
-		{"snapshot-every without data-dir", set("snapshot-every"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", true},
-		{"recover-concurrency without data-dir", set("recover-concurrency"), "", "always", okTimeout, okTimeout, 4, "", 0, "text", true},
-		{"recover-concurrency with data-dir", set("data-dir", "recover-concurrency"), "/tmp/x", "always", okTimeout, okTimeout, 4, "", 0, "text", false},
-		{"negative recover-concurrency", set("data-dir", "recover-concurrency"), "/tmp/x", "always", okTimeout, okTimeout, -1, "", 0, "text", true},
-		{"fsync-interval under -fsync always", set("data-dir", "fsync-interval"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, "text", true},
-		{"fsync-interval under -fsync none", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "none", okTimeout, okTimeout, 0, "", 0, "text", true},
-		{"fsync-interval under -fsync interval", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "interval", okTimeout, okTimeout, 0, "", 0, "text", false},
-		{"fsync interval without explicit interval flag", set("data-dir", "fsync"), "/tmp/x", "interval", okTimeout, okTimeout, 0, "", 0, "text", false},
-		{"snapshot-every with data-dir", set("data-dir", "snapshot-every"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, "text", false},
-		{"zero read-header-timeout", set(), "", "always", 0, okTimeout, 0, "", 0, "text", true},
-		{"negative read-header-timeout", set(), "", "always", -time.Second, okTimeout, 0, "", 0, "text", true},
-		{"zero idle-timeout", set(), "", "always", okTimeout, 0, 0, "", 0, "text", true},
-		{"negative idle-timeout", set(), "", "always", okTimeout, -time.Minute, 0, "", 0, "text", true},
-		{"tcp-read-buf without tcp-addr", set("tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "", 64 << 10, "text", true},
-		{"tcp-read-buf with tcp-addr", set("tcp-addr", "tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "127.0.0.1:0", 64 << 10, "text", false},
-		{"negative tcp-read-buf", set("tcp-addr", "tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "127.0.0.1:0", -1, "text", true},
-		{"log-format json", set("log-format"), "", "always", okTimeout, okTimeout, 0, "", 0, "json", false},
-		{"log-format unknown", set("log-format"), "", "always", okTimeout, okTimeout, 0, "", 0, "logfmt", true},
+		{"defaults, memory-only", set(), "", "always", okTimeout, okTimeout, 0, "", 0, "text", "", 0, false},
+		{"defaults, durable", set("data-dir"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, "text", "", 0, false},
+		{"fsync without data-dir", set("fsync"), "", "none", okTimeout, okTimeout, 0, "", 0, "text", "", 0, true},
+		{"fsync-interval without data-dir", set("fsync-interval"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", "", 0, true},
+		{"snapshot-every without data-dir", set("snapshot-every"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", "", 0, true},
+		{"recover-concurrency without data-dir", set("recover-concurrency"), "", "always", okTimeout, okTimeout, 4, "", 0, "text", "", 0, true},
+		{"recover-concurrency with data-dir", set("data-dir", "recover-concurrency"), "/tmp/x", "always", okTimeout, okTimeout, 4, "", 0, "text", "", 0, false},
+		{"negative recover-concurrency", set("data-dir", "recover-concurrency"), "/tmp/x", "always", okTimeout, okTimeout, -1, "", 0, "text", "", 0, true},
+		{"fsync-interval under -fsync always", set("data-dir", "fsync-interval"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, "text", "", 0, true},
+		{"fsync-interval under -fsync none", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "none", okTimeout, okTimeout, 0, "", 0, "text", "", 0, true},
+		{"fsync-interval under -fsync interval", set("data-dir", "fsync", "fsync-interval"), "/tmp/x", "interval", okTimeout, okTimeout, 0, "", 0, "text", "", 0, false},
+		{"fsync interval without explicit interval flag", set("data-dir", "fsync"), "/tmp/x", "interval", okTimeout, okTimeout, 0, "", 0, "text", "", 0, false},
+		{"snapshot-every with data-dir", set("data-dir", "snapshot-every"), "/tmp/x", "always", okTimeout, okTimeout, 0, "", 0, "text", "", 0, false},
+		{"zero read-header-timeout", set(), "", "always", 0, okTimeout, 0, "", 0, "text", "", 0, true},
+		{"negative read-header-timeout", set(), "", "always", -time.Second, okTimeout, 0, "", 0, "text", "", 0, true},
+		{"zero idle-timeout", set(), "", "always", okTimeout, 0, 0, "", 0, "text", "", 0, true},
+		{"negative idle-timeout", set(), "", "always", okTimeout, -time.Minute, 0, "", 0, "text", "", 0, true},
+		{"tcp-read-buf without tcp-addr", set("tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "", 64 << 10, "text", "", 0, true},
+		{"tcp-read-buf with tcp-addr", set("tcp-addr", "tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "127.0.0.1:0", 64 << 10, "text", "", 0, false},
+		{"negative tcp-read-buf", set("tcp-addr", "tcp-read-buf"), "", "always", okTimeout, okTimeout, 0, "127.0.0.1:0", -1, "text", "", 0, true},
+		{"log-format json", set("log-format"), "", "always", okTimeout, okTimeout, 0, "", 0, "json", "", 0, false},
+		{"log-format unknown", set("log-format"), "", "always", okTimeout, okTimeout, 0, "", 0, "logfmt", "", 0, true},
+		{"config alone", set("config"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", "/tmp/irs.conf", 0, false},
+		{"config with datasets", set("config", "datasets"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", "/tmp/irs.conf", 0, true},
+		{"config with poll", set("config", "config-poll"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", "/tmp/irs.conf", time.Second, false},
+		{"config-poll without config", set("config-poll"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", "", time.Second, true},
+		{"negative config-poll", set("config", "config-poll"), "", "always", okTimeout, okTimeout, 0, "", 0, "text", "/tmp/irs.conf", -time.Second, true},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.explicit, tc.dataDir, tc.fsync, tc.readHdrTO, tc.idleTO, tc.recoverConc, tc.tcpAddr, tc.tcpReadBuf, tc.logFormat)
+		err := validateFlags(tc.explicit, tc.dataDir, tc.fsync, tc.readHdrTO, tc.idleTO, tc.recoverConc, tc.tcpAddr, tc.tcpReadBuf, tc.logFormat, tc.config, tc.configPoll)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
 		}

@@ -11,12 +11,28 @@ import (
 	"testing"
 	"time"
 
+	"github.com/irsgo/irs/internal/spec"
 	"github.com/irsgo/irs/server"
 )
 
 // discardLogger silences boot logging in tests.
 func discardLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// addDurableSpecs registers the spec'd datasets durably under dir — the
+// test-side shorthand for the boot path.
+func addDurableSpecs(t *testing.T, s *server.Server, specs, dir string, recoverConc int) error {
+	t.Helper()
+	list, err := spec.ParseDatasets(specs)
+	if err != nil {
+		t.Fatalf("parse specs: %v", err)
+	}
+	policy, err := server.ParseSyncPolicy("always")
+	if err != nil {
+		t.Fatalf("parse policy: %v", err)
+	}
+	return addDatasetList(s, discardLogger(), list, 2, 7, 0, dir, policy, 100*time.Millisecond, recoverConc)
 }
 
 // postJSON drives one mutation through the daemon's HTTP surface.
@@ -52,7 +68,7 @@ type dsFingerprint struct {
 func bootFingerprints(t *testing.T, dir, specs string, recoverConc int) []dsFingerprint {
 	t.Helper()
 	s := server.New(server.Config{})
-	if _, err := addDatasets(s, discardLogger(), specs, 2, 7, 0, dir, "always", 100*time.Millisecond, recoverConc); err != nil {
+	if err := addDurableSpecs(t, s, specs, dir, recoverConc); err != nil {
 		t.Fatalf("boot (concurrency %d): %v", recoverConc, err)
 	}
 	defer func() {
@@ -88,7 +104,7 @@ func TestParallelRecoveryMatchesSerial(t *testing.T) {
 	names := []string{"a", "b", "c", "d", "e"}
 
 	seed := server.New(server.Config{})
-	if _, err := addDatasets(seed, discardLogger(), specs, 2, 7, 0, dir, "always", 100*time.Millisecond, 2); err != nil {
+	if err := addDurableSpecs(t, seed, specs, dir, 2); err != nil {
 		t.Fatalf("seeding boot: %v", err)
 	}
 	for i, name := range names {

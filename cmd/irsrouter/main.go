@@ -16,6 +16,15 @@
 // serve the configured datasets over -node-encoding (json, binary, or
 // tcp).
 //
+// With -config the topology (partition lines and dataset lines, same
+// grammar, one element per line or comma, # comments) comes from a config
+// file instead of -partitions/-datasets, and SIGHUP re-reads it and swaps
+// the partition map atomically: the new map is fully validated and its
+// node connections dialed before the swap, a failed reload keeps the
+// current topology, requests in flight finish on the map they started on,
+// and new requests route by the new map — zero requests dropped across a
+// repartition.
+//
 // Cross-partition sample requests are split exactly: per-partition
 // in-range (count, mass) probes, a multinomial draw over partition
 // masses, per-partition sub-samples, and a scatter back into draw order —
@@ -76,8 +85,9 @@ func run() int {
 		addr       = flag.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free port)")
 		tcpAddr    = flag.String("tcp-addr", "", "persistent binary TCP listen address (empty disables; port 0 picks a free port)")
 		tcpReadBuf = flag.Int("tcp-read-buf", 0, "per-connection read buffer for the binary TCP transport, bytes (0 = default)")
-		partitions = flag.String("partitions", "", "comma-separated addr@lo:hi partition specs, contiguous and ascending (required)")
+		partitions = flag.String("partitions", "", "comma-separated addr@lo:hi partition specs, contiguous and ascending (required unless -config)")
 		datasets   = flag.String("datasets", "demo", "comma-separated name[:weighted|:unweighted] specs the cluster serves")
+		config     = flag.String("config", "", "config file naming the partitions and datasets (spec grammar, one per line, '#' comments); mutually exclusive with -partitions/-datasets, reloaded on SIGHUP")
 		encoding   = flag.String("node-encoding", "binary", "wire encoding toward the nodes: json, binary, or tcp")
 		seed       = flag.Uint64("seed", 1, "seed for the cross-partition multinomial split")
 		timeout    = flag.Duration("node-timeout", 10*time.Second, "per-node request deadline (0 = none)")
@@ -91,14 +101,30 @@ func run() int {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*partitions, *logFormat, *readHdrTimeout, *idleTimeout, *tcpAddr, *tcpReadBuf); err != nil {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateFlags(explicit, *partitions, *logFormat, *readHdrTimeout, *idleTimeout, *tcpAddr, *tcpReadBuf, *config); err != nil {
 		newLogger("text").Error("invalid flags", "err", err)
 		return 2
 	}
 	logger := newLogger(*logFormat)
 	logger.Info("irsrouter starting", "version", version, "go", runtime.Version(), "pid", os.Getpid())
 
-	router, err := buildRouter(*partitions, *datasets, *encoding, *seed, *timeout)
+	topo, err := bootTopology(*config, *partitions, *datasets)
+	if err != nil {
+		logger.Error("boot failed", "err", err)
+		return 1
+	}
+	m, conns, names, err := buildTopology(topo, *encoding)
+	if err != nil {
+		logger.Error("boot failed", "err", err)
+		return 1
+	}
+	router, err := cluster.NewRouter(m, conns, cluster.Options{
+		Datasets: names,
+		Seed:     *seed,
+		Timeout:  *timeout,
+	})
 	if err != nil {
 		logger.Error("boot failed", "err", err)
 		return 1
@@ -117,6 +143,8 @@ func run() int {
 	// must not fail the router's boot — requests to it answer
 	// "unavailable" until it appears.
 	_ = router.Stats()
+	// The boot topology is config epoch 1; each applied reload advances it.
+	s.NoteReload(true)
 	s.SetReady()
 
 	refreshStop := make(chan struct{})
@@ -198,22 +226,41 @@ func run() int {
 			}
 		}
 	}
-	select {
-	case <-ctx.Done():
-		logger.Info("signal received, draining")
-		shutdownBoth()
-		serveErr = <-done
-		if tcpDone != nil {
-			tcpErr = <-tcpDone
+	// SIGHUP reloads the config file: the new partition map and fresh node
+	// connections are built and validated first, then swapped in atomically
+	// — requests in flight finish on the map they were routed with, and the
+	// old generation's connections close when its last request completes.
+	// Zero requests are dropped by a swap.
+	hup := make(chan os.Signal, 1)
+	if *config != "" {
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+	}
+serve:
+	for {
+		select {
+		case <-ctx.Done():
+			logger.Info("signal received, draining")
+			shutdownBoth()
+			serveErr = <-done
+			if tcpDone != nil {
+				tcpErr = <-tcpDone
+			}
+			break serve
+		case serveErr = <-done:
+			shutdownBoth()
+			if tcpDone != nil {
+				tcpErr = <-tcpDone
+			}
+			break serve
+		case tcpErr = <-tcpDone:
+			shutdownBoth()
+			serveErr = <-done
+			break serve
+		case <-hup:
+			logger.Info("SIGHUP received, reloading config", "config", *config)
+			reloadConfig(s, router, logger, *config, *encoding)
 		}
-	case serveErr = <-done:
-		shutdownBoth()
-		if tcpDone != nil {
-			tcpErr = <-tcpDone
-		}
-	case tcpErr = <-tcpDone:
-		shutdownBoth()
-		serveErr = <-done
 	}
 	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		logger.Error("http serve failed", "err", serveErr)
@@ -235,46 +282,104 @@ func run() int {
 	return exit
 }
 
-// buildRouter parses the partition and dataset specs, dials one
-// connection per node, and assembles the cluster router. Dialing is lazy
-// on every encoding, so a node that is still booting does not fail the
-// router's boot.
-func buildRouter(partitionSpecs, datasetSpecs, encoding string, seed uint64, timeout time.Duration) (*cluster.Router, error) {
-	pspecs, err := spec.ParsePartitions(partitionSpecs)
-	if err != nil {
-		return nil, err
-	}
-	parts := make([]cluster.Partition, len(pspecs))
-	conns := make([]client.Conn, len(pspecs))
-	for i, ps := range pspecs {
-		parts[i] = cluster.Partition{Addr: ps.Addr, Lo: ps.Lo, Hi: ps.Hi}
-		if conns[i], err = client.Dial(ps.Addr, encoding); err != nil {
-			return nil, fmt.Errorf("partition %d (%s): %w", i, ps.Addr, err)
+// bootTopology resolves the boot topology: the -config file when given,
+// the -partitions/-datasets flags otherwise — same grammar either way.
+func bootTopology(config, partitionSpecs, datasetSpecs string) (spec.File, error) {
+	if config == "" {
+		pspecs, err := spec.ParsePartitions(partitionSpecs)
+		if err != nil {
+			return spec.File{}, err
 		}
+		dspecs, err := spec.ParseDatasets(datasetSpecs)
+		if err != nil {
+			return spec.File{}, err
+		}
+		return spec.File{Datasets: dspecs, Partitions: pspecs}, nil
+	}
+	f, err := spec.Load(config)
+	if err != nil {
+		return spec.File{}, err
+	}
+	if len(f.Partitions) == 0 {
+		return spec.File{}, fmt.Errorf("config %s: no partitions", config)
+	}
+	if len(f.Datasets) == 0 {
+		return spec.File{}, fmt.Errorf("config %s: no datasets", config)
+	}
+	return f, nil
+}
+
+// buildTopology dials one connection per partition and validates the map.
+// Dialing is lazy on every encoding, so a node that is still booting does
+// not fail the build; map validation (contiguous ascending ranges) is not
+// lazy — a malformed topology never gets installed. On error, any
+// connections already dialed are closed.
+func buildTopology(f spec.File, encoding string) (*cluster.Map, []client.Conn, []string, error) {
+	parts := make([]cluster.Partition, len(f.Partitions))
+	conns := make([]client.Conn, 0, len(f.Partitions))
+	closeAll := func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}
+	for i, ps := range f.Partitions {
+		parts[i] = cluster.Partition{Addr: ps.Addr, Lo: ps.Lo, Hi: ps.Hi}
+		c, err := client.Dial(ps.Addr, encoding)
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, fmt.Errorf("partition %d (%s): %w", i, ps.Addr, err)
+		}
+		conns = append(conns, c)
 	}
 	m, err := cluster.New(parts)
 	if err != nil {
-		return nil, err
+		closeAll()
+		return nil, nil, nil, err
 	}
-	dspecs, err := spec.ParseDatasets(datasetSpecs)
+	return m, conns, f.DatasetNames(), nil
+}
+
+// reloadConfig rebuilds the topology from the config file and swaps it
+// into the router. Everything validates before the swap — an unreadable
+// file, a malformed map, or a failed dial rejects the reload whole and
+// the router keeps serving the old topology, counted as
+// irsd_config_reloads_total{status="error"}.
+func reloadConfig(s *server.Server, router *cluster.Router, logger *slog.Logger, path, encoding string) {
+	fail := func(err error) {
+		s.NoteReload(false)
+		logger.Error("config reload rejected, keeping current topology", "config", path, "err", err)
+	}
+	f, err := bootTopology(path, "", "")
 	if err != nil {
-		return nil, err
+		fail(err)
+		return
 	}
-	names := make([]string, len(dspecs))
-	for i, d := range dspecs {
-		names[i] = d.Name
+	m, conns, names, err := buildTopology(f, encoding)
+	if err != nil {
+		fail(err)
+		return
 	}
-	return cluster.NewRouter(m, conns, cluster.Options{
-		Datasets: names,
-		Seed:     seed,
-		Timeout:  timeout,
-	})
+	if err := router.SetMap(m, conns, names); err != nil {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		fail(err)
+		return
+	}
+	s.NoteReload(true)
+	// Prime the new map's partition gauges, best-effort.
+	_ = router.Stats()
+	logger.Info("config reloaded", "config", path, "partitions", m.Len(),
+		"datasets", names, "map_epoch", router.Epoch(), "config_epoch", s.ConfigEpoch())
 }
 
 // validateFlags rejects contradictions before any connection is dialed.
-func validateFlags(partitions, logFormat string, readHeaderTimeout, idleTimeout time.Duration, tcpAddr string, tcpReadBuf int) error {
-	if partitions == "" {
-		return errors.New("-partitions is required (comma-separated addr@lo:hi specs)")
+func validateFlags(explicit map[string]bool, partitions, logFormat string, readHeaderTimeout, idleTimeout time.Duration, tcpAddr string, tcpReadBuf int, config string) error {
+	if explicit["config"] && (explicit["partitions"] || explicit["datasets"]) {
+		return errors.New("-config and -partitions/-datasets are mutually exclusive (the config file is the topology)")
+	}
+	if config == "" && partitions == "" {
+		return errors.New("-partitions is required (comma-separated addr@lo:hi specs), or give -config")
 	}
 	if logFormat != "text" && logFormat != "json" {
 		return fmt.Errorf("-log-format %q: want text or json", logFormat)

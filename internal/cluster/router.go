@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/irsgo/irs/client"
@@ -29,10 +30,65 @@ type Options struct {
 	Timeout time.Duration
 }
 
+// mapState is one generation of the router's topology: the partition map,
+// the node connections (conns[i] serves m.At(i)), the served dataset set,
+// and that generation's per-partition instrumentation. Generations are
+// immutable once installed and reference-counted: every request acquires
+// the current generation, runs entirely against it, and releases it when
+// done — so SetMap can install a repartitioned map while requests started
+// under the old one finish on the exact topology they were routed with,
+// and the old generation's connections close only after its last request
+// completes. The count starts at 1 (the router's own reference, dropped
+// when the generation is retired).
+type mapState struct {
+	m        *Map
+	conns    []client.Conn
+	datasets map[string]bool
+	sole     string // sole dataset name, "" when several are registered
+	timeout  time.Duration
+	epoch    uint64 // 1 for the boot map, +1 per SetMap
+
+	// Per-partition upstream instrumentation, exposed by AppendMetrics.
+	// Counters are per generation: a swap resets them (rate() across the
+	// swap behaves like a process restart).
+	requests []metrics.Counter // RPCs issued to the partition's node
+	failures []metrics.Counter // RPCs that found the node unreachable
+
+	refs      atomic.Int64
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// release drops one reference; the last one out closes the generation's
+// connections.
+func (s *mapState) release() {
+	if s.refs.Add(-1) == 0 {
+		_ = s.closeConns()
+	}
+}
+
+// closeConns closes the generation's node connections exactly once.
+func (s *mapState) closeConns() error {
+	s.closeOnce.Do(func() {
+		errs := make([]error, len(s.conns))
+		for i, c := range s.conns {
+			errs[i] = c.Close()
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
+}
+
 // Router fans the single-node serving surface out across a partition map.
 // It satisfies server.Backend, so server.NewProxy(router) serves the
 // identical HTTP protocol — and irsnet.NewServer on top of that proxy the
 // identical TCP protocol — that the nodes themselves speak.
+//
+// The topology is swappable at runtime: SetMap atomically installs a new
+// (validated) partition map and connection set, in-flight requests finish
+// on the generation they started with, and the retired generation's
+// connections close when its last request completes. irsrouter drives
+// this from SIGHUP config reloads.
 //
 // Failure semantics: sampling and range probes fail whole when any
 // overlapping node is unreachable (a partial sample would not be a sample
@@ -44,64 +100,137 @@ type Options struct {
 // vocabulary a client sees through the router is the node vocabulary plus
 // "unavailable".
 type Router struct {
-	m        *Map
-	conns    []client.Conn
-	datasets map[string]bool
-	sole     string // sole dataset name, "" when several are registered
-	timeout  time.Duration
+	cur   atomic.Pointer[mapState]
+	setMu sync.Mutex // serializes SetMap/Close (generation retirement)
+
+	timeout time.Duration
 
 	rngMu sync.Mutex
 	rng   *xrand.RNG
+}
 
-	// Per-partition upstream instrumentation, exposed by AppendMetrics.
-	requests []metrics.Counter // RPCs issued to the partition's node
-	failures []metrics.Counter // RPCs that found the node unreachable
+// newMapState assembles one topology generation.
+func newMapState(m *Map, conns []client.Conn, datasets []string, timeout time.Duration, epoch uint64) (*mapState, error) {
+	if len(conns) != m.Len() {
+		return nil, fmt.Errorf("%w: %d connections for %d partitions", ErrBadMap, len(conns), m.Len())
+	}
+	s := &mapState{
+		m:        m,
+		conns:    conns,
+		datasets: make(map[string]bool, len(datasets)),
+		timeout:  timeout,
+		epoch:    epoch,
+		requests: make([]metrics.Counter, m.Len()),
+		failures: make([]metrics.Counter, m.Len()),
+	}
+	for _, name := range datasets {
+		s.datasets[name] = true
+	}
+	if len(s.datasets) == 1 {
+		s.sole = datasets[0]
+	}
+	s.refs.Store(1) // the router's own reference
+	return s, nil
 }
 
 // NewRouter builds a router over the map's partitions; conns[i] is the
 // connection to the node owning m.At(i) — one per partition, in map order.
 func NewRouter(m *Map, conns []client.Conn, opts Options) (*Router, error) {
-	if len(conns) != m.Len() {
-		return nil, fmt.Errorf("%w: %d connections for %d partitions", ErrBadMap, len(conns), m.Len())
-	}
 	if len(opts.Datasets) == 0 {
 		return nil, errors.New("cluster: at least one dataset name required")
 	}
+	s, err := newMapState(m, conns, opts.Datasets, opts.Timeout, 1)
+	if err != nil {
+		return nil, err
+	}
 	r := &Router{
-		m:        m,
-		conns:    conns,
-		datasets: make(map[string]bool, len(opts.Datasets)),
-		timeout:  opts.Timeout,
-		rng:      xrand.New(opts.Seed),
-		requests: make([]metrics.Counter, m.Len()),
-		failures: make([]metrics.Counter, m.Len()),
+		timeout: opts.Timeout,
+		rng:     xrand.New(opts.Seed),
 	}
-	for _, name := range opts.Datasets {
-		r.datasets[name] = true
-	}
-	if len(r.datasets) == 1 {
-		r.sole = opts.Datasets[0]
-	}
+	r.cur.Store(s)
 	return r, nil
 }
 
-// Map returns the router's partition map (for observability; the topology
-// is immutable).
-func (r *Router) Map() *Map { return r.m }
+// SetMap atomically installs a new topology: a validated partition map
+// plus the connections serving it (conns[i] owns m.At(i)). Validation runs
+// before the swap — on error the router keeps serving the old generation
+// unchanged and the caller retains ownership of conns (it should close
+// them). datasets replaces the served dataset set; empty keeps the current
+// one. Requests in flight finish on the generation they started with; the
+// retired generation's connections close after its last request completes.
+func (r *Router) SetMap(m *Map, conns []client.Conn, datasets []string) error {
+	r.setMu.Lock()
+	defer r.setMu.Unlock()
+	old := r.cur.Load()
+	if old == nil {
+		return server.ErrShuttingDown
+	}
+	if len(datasets) == 0 {
+		datasets = make([]string, 0, len(old.datasets))
+		for name := range old.datasets {
+			datasets = append(datasets, name)
+		}
+		sort.Strings(datasets)
+	}
+	s, err := newMapState(m, conns, datasets, r.timeout, old.epoch+1)
+	if err != nil {
+		return err
+	}
+	r.cur.Store(s)
+	old.release() // drop the router's reference; conns close when drained
+	return nil
+}
+
+// acquire takes a reference on the current generation. The recheck loop
+// closes the race with SetMap: if the generation was retired between the
+// load and the increment (and may already have closed its connections
+// because its count touched zero), the reference is dropped and the new
+// generation acquired instead. Returns nil after Close.
+func (r *Router) acquire() *mapState {
+	for {
+		s := r.cur.Load()
+		if s == nil {
+			return nil
+		}
+		s.refs.Add(1)
+		if r.cur.Load() == s {
+			return s
+		}
+		s.release()
+	}
+}
+
+// Map returns the current partition map (for observability; each
+// generation's topology is immutable — SetMap installs whole new maps).
+func (r *Router) Map() *Map {
+	if s := r.cur.Load(); s != nil {
+		return s.m
+	}
+	return nil
+}
+
+// Epoch returns the current map generation: 1 for the boot map, +1 per
+// SetMap.
+func (r *Router) Epoch() uint64 {
+	if s := r.cur.Load(); s != nil {
+		return s.epoch
+	}
+	return 0
+}
 
 // callCtx bounds one upstream call.
-func (r *Router) callCtx() (context.Context, context.CancelFunc) {
-	if r.timeout <= 0 {
+func (s *mapState) callCtx() (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
 		return context.Background(), func() {}
 	}
-	return context.WithTimeout(context.Background(), r.timeout)
+	return context.WithTimeout(context.Background(), s.timeout)
 }
 
 // wrap classifies an upstream error: node-side serving errors
 // (*server.APIError, already carrying the wire vocabulary) pass through;
 // anything else — dial failure, timeout, torn connection — becomes an
 // unavailable error naming the partition.
-func (r *Router) wrap(i int, err error) error {
+func (s *mapState) wrap(i int, err error) error {
 	if err == nil {
 		return nil
 	}
@@ -109,23 +238,34 @@ func (r *Router) wrap(i int, err error) error {
 	if errors.As(err, &apiErr) {
 		return err
 	}
-	r.failures[i].Inc()
-	return fmt.Errorf("%w: partition %d (%s): %v", server.ErrUnavailable, i, r.m.At(i).Addr, err)
+	s.failures[i].Inc()
+	return fmt.Errorf("%w: partition %d (%s): %v", server.ErrUnavailable, i, s.m.At(i).Addr, err)
+}
+
+// resolve mirrors the single-node routing rule over the generation's
+// registered dataset names.
+func (s *mapState) resolve(dataset string) (string, error) {
+	if dataset == "" {
+		if s.sole != "" {
+			return s.sole, nil
+		}
+		return "", server.ErrAmbiguousDataset
+	}
+	if !s.datasets[dataset] {
+		return "", server.ErrUnknownDataset
+	}
+	return dataset, nil
 }
 
 // Resolve mirrors the single-node routing rule over the router's
 // registered dataset names.
 func (r *Router) Resolve(dataset string) (string, error) {
-	if dataset == "" {
-		if r.sole != "" {
-			return r.sole, nil
-		}
-		return "", server.ErrAmbiguousDataset
+	s := r.acquire()
+	if s == nil {
+		return "", server.ErrShuttingDown
 	}
-	if !r.datasets[dataset] {
-		return "", server.ErrUnknownDataset
-	}
-	return dataset, nil
+	defer s.release()
+	return s.resolve(dataset)
 }
 
 // SampleAppend answers t independent mass-proportional samples of
@@ -140,11 +280,16 @@ func (r *Router) SampleAppend(dataset string, dst []float64, lo, hi float64, t i
 	if hi < lo {
 		return dst, server.ErrInvalidRange
 	}
-	name, err := r.Resolve(dataset)
+	s := r.acquire()
+	if s == nil {
+		return dst, server.ErrShuttingDown
+	}
+	defer s.release()
+	name, err := s.resolve(dataset)
 	if err != nil {
 		return dst, err
 	}
-	return r.sampleResolved(name, dst, lo, hi, t)
+	return r.sampleResolved(s, name, dst, lo, hi, t)
 }
 
 // SampleAppendAsync is SampleAppend under the Backend async contract:
@@ -152,6 +297,8 @@ func (r *Router) SampleAppend(dataset string, dst []float64, lo, hi float64, t i
 // otherwise done.Deliver runs exactly once from another goroutine. The
 // router has no coalescer to keep a reader goroutine out of — the fan-out
 // itself is the slow part — so async is a goroutine over the sync path.
+// The goroutine holds the generation reference until delivery, so a
+// concurrent SetMap cannot close the connections under it.
 func (r *Router) SampleAppendAsync(dataset string, dst []float64, lo, hi float64, t int, done server.SampleReply) error {
 	if t <= 0 {
 		return server.ErrInvalidCount
@@ -159,18 +306,24 @@ func (r *Router) SampleAppendAsync(dataset string, dst []float64, lo, hi float64
 	if hi < lo {
 		return server.ErrInvalidRange
 	}
-	name, err := r.Resolve(dataset)
+	s := r.acquire()
+	if s == nil {
+		return server.ErrShuttingDown
+	}
+	name, err := s.resolve(dataset)
 	if err != nil {
+		s.release()
 		return err
 	}
 	go func() {
-		done.Deliver(r.sampleResolved(name, dst, lo, hi, t))
+		defer s.release()
+		done.Deliver(r.sampleResolved(s, name, dst, lo, hi, t))
 	}()
 	return nil
 }
 
-func (r *Router) sampleResolved(name string, dst []float64, lo, hi float64, t int) ([]float64, error) {
-	first, last := r.m.Overlap(lo, hi)
+func (r *Router) sampleResolved(s *mapState, name string, dst []float64, lo, hi float64, t int) ([]float64, error) {
+	first, last := s.m.Overlap(lo, hi)
 	if first > last {
 		return dst, server.ErrEmptyRange // query outside the map's coverage
 	}
@@ -178,12 +331,12 @@ func (r *Router) sampleResolved(name string, dst []float64, lo, hi float64, t in
 		// Single-partition fast path: forward the request unchanged (the
 		// node clips to its own holdings anyway), keeping the router
 		// bit-transparent over one partition.
-		r.requests[first].Inc()
-		ctx, cancel := r.callCtx()
+		s.requests[first].Inc()
+		ctx, cancel := s.callCtx()
 		defer cancel()
-		out, err := r.conns[first].SampleAppend(ctx, name, dst, lo, hi, t)
+		out, err := s.conns[first].SampleAppend(ctx, name, dst, lo, hi, t)
 		if err != nil {
-			return dst, r.wrap(first, err)
+			return dst, s.wrap(first, err)
 		}
 		return out, nil
 	}
@@ -195,9 +348,9 @@ func (r *Router) sampleResolved(name string, dst []float64, lo, hi float64, t in
 	n := last - first + 1
 	counts := make([]int, n)
 	masses := make([]float64, n)
-	if err := r.scatter(first, last, func(ctx context.Context, i int) error {
-		clo, chi, _ := r.m.Clip(i, lo, hi)
-		c, m, err := r.conns[i].RangeStats(ctx, name, clo, chi)
+	if err := s.scatter(first, last, func(ctx context.Context, i int) error {
+		clo, chi, _ := s.m.Clip(i, lo, hi)
+		c, m, err := s.conns[i].RangeStats(ctx, name, clo, chi)
 		counts[i-first], masses[i-first] = c, m
 		return err
 	}); err != nil {
@@ -244,15 +397,15 @@ func (r *Router) sampleResolved(name string, dst []float64, lo, hi float64, t in
 	// probe and sample surfaces as that node's error and fails the
 	// request, never as a silently short result).
 	segs := make([][]float64, cols)
-	if err := r.scatterCols(first, nonzero, func(ctx context.Context, k, i int) error {
+	if err := s.scatterCols(first, nonzero, func(ctx context.Context, k, i int) error {
 		want := tally[k]
 		if want == 0 {
 			return nil
 		}
-		clo, chi, _ := r.m.Clip(i, lo, hi)
-		seg, err := r.conns[i].SampleAppend(ctx, name, make([]float64, 0, want), clo, chi, want)
+		clo, chi, _ := s.m.Clip(i, lo, hi)
+		seg, err := s.conns[i].SampleAppend(ctx, name, make([]float64, 0, want), clo, chi, want)
 		if err == nil && len(seg) != want {
-			err = fmt.Errorf("cluster: partition %d (%s) returned %d samples, want %d", i, r.m.At(i).Addr, len(seg), want)
+			err = fmt.Errorf("cluster: partition %d (%s) returned %d samples, want %d", i, s.m.At(i).Addr, len(seg), want)
 		}
 		segs[k] = seg
 		return err
@@ -276,17 +429,17 @@ func (r *Router) sampleResolved(name string, dst []float64, lo, hi float64, t in
 // scatter runs f for every partition in [first, last] concurrently, each
 // under its own call context, counting one upstream request per
 // partition. It returns the joined wrapped errors (nil when all succeed).
-func (r *Router) scatter(first, last int, f func(ctx context.Context, i int) error) error {
+func (s *mapState) scatter(first, last int, f func(ctx context.Context, i int) error) error {
 	errs := make([]error, last-first+1)
 	var wg sync.WaitGroup
 	for i := first; i <= last; i++ {
-		r.requests[i].Inc()
+		s.requests[i].Inc()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx, cancel := r.callCtx()
+			ctx, cancel := s.callCtx()
 			defer cancel()
-			errs[i-first] = r.wrap(i, f(ctx, i))
+			errs[i-first] = s.wrap(i, f(ctx, i))
 		}()
 	}
 	wg.Wait()
@@ -298,7 +451,7 @@ func (r *Router) scatter(first, last int, f func(ctx context.Context, i int) err
 // partition index. Columns with no work may return nil without an RPC —
 // f decides; the request counter increments only when f is invoked with
 // work to do, so it counts issued RPCs, not potential ones.
-func (r *Router) scatterCols(first int, cols []int, f func(ctx context.Context, k, i int) error) error {
+func (s *mapState) scatterCols(first int, cols []int, f func(ctx context.Context, k, i int) error) error {
 	errs := make([]error, len(cols))
 	var wg sync.WaitGroup
 	for k, off := range cols {
@@ -306,9 +459,9 @@ func (r *Router) scatterCols(first int, cols []int, f func(ctx context.Context, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx, cancel := r.callCtx()
+			ctx, cancel := s.callCtx()
 			defer cancel()
-			errs[k] = r.wrap(i, f(ctx, k, i))
+			errs[k] = s.wrap(i, f(ctx, k, i))
 		}()
 	}
 	wg.Wait()
@@ -322,20 +475,25 @@ func (r *Router) RangeStats(dataset string, lo, hi float64) (int, float64, error
 	if hi < lo {
 		return 0, 0, server.ErrInvalidRange
 	}
-	name, err := r.Resolve(dataset)
+	s := r.acquire()
+	if s == nil {
+		return 0, 0, server.ErrShuttingDown
+	}
+	defer s.release()
+	name, err := s.resolve(dataset)
 	if err != nil {
 		return 0, 0, err
 	}
-	first, last := r.m.Overlap(lo, hi)
+	first, last := s.m.Overlap(lo, hi)
 	if first > last {
 		return 0, 0, nil
 	}
 	n := last - first + 1
 	counts := make([]int, n)
 	masses := make([]float64, n)
-	if err := r.scatter(first, last, func(ctx context.Context, i int) error {
-		clo, chi, _ := r.m.Clip(i, lo, hi)
-		c, m, err := r.conns[i].RangeStats(ctx, name, clo, chi)
+	if err := s.scatter(first, last, func(ctx context.Context, i int) error {
+		clo, chi, _ := s.m.Clip(i, lo, hi)
+		c, m, err := s.conns[i].RangeStats(ctx, name, clo, chi)
 		counts[i-first], masses[i-first] = c, m
 		return err
 	}); err != nil {
@@ -352,13 +510,13 @@ func (r *Router) RangeStats(dataset string, lo, hi float64) (int, float64, error
 // split groups items by owning partition. A key outside the map's
 // coverage is a routing error surfaced as ErrInvalidRange (the cluster
 // equivalent of a key the deployment cannot store).
-func (r *Router) split(items []server.Item) (map[int][]server.Item, error) {
+func (s *mapState) split(items []server.Item) (map[int][]server.Item, error) {
 	groups := make(map[int][]server.Item)
 	for _, it := range items {
-		i := r.m.Route(it.Key)
+		i := s.m.Route(it.Key)
 		if i < 0 {
 			return nil, fmt.Errorf("%w: key %v outside the partition map's coverage [%v, %v]",
-				server.ErrInvalidRange, it.Key, r.m.At(0).Lo, r.m.At(r.m.Len()-1).Hi)
+				server.ErrInvalidRange, it.Key, s.m.At(0).Lo, s.m.At(s.m.Len()-1).Hi)
 		}
 		groups[i] = append(groups[i], it)
 	}
@@ -371,24 +529,24 @@ func (r *Router) split(items []server.Item) (map[int][]server.Item, error) {
 // applied, and the error (wrapping server.ErrUnavailable per failed
 // partition) reports the rest — partial scatter failure never loses the
 // other partitions' results.
-func (r *Router) mutate(groups map[int][]server.Item, op func(ctx context.Context, i int, items []server.Item) (int, error)) (int, error) {
+func (s *mapState) mutate(groups map[int][]server.Item, op func(ctx context.Context, i int, items []server.Item) (int, error)) (int, error) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	applied := 0
 	var errs []error
 	for i, items := range groups {
-		r.requests[i].Inc()
+		s.requests[i].Inc()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx, cancel := r.callCtx()
+			ctx, cancel := s.callCtx()
 			defer cancel()
 			n, err := op(ctx, i, items)
 			mu.Lock()
 			defer mu.Unlock()
 			applied += n
 			if err != nil {
-				errs = append(errs, r.wrap(i, err))
+				errs = append(errs, s.wrap(i, err))
 			}
 		}()
 	}
@@ -399,16 +557,21 @@ func (r *Router) mutate(groups map[int][]server.Item, op func(ctx context.Contex
 // Insert routes each item to the partition owning its key and applies the
 // per-partition batches in parallel.
 func (r *Router) Insert(dataset string, items []server.Item) (int, error) {
-	name, err := r.Resolve(dataset)
+	s := r.acquire()
+	if s == nil {
+		return 0, server.ErrShuttingDown
+	}
+	defer s.release()
+	name, err := s.resolve(dataset)
 	if err != nil {
 		return 0, err
 	}
-	groups, err := r.split(items)
+	groups, err := s.split(items)
 	if err != nil {
 		return 0, err
 	}
-	return r.mutate(groups, func(ctx context.Context, i int, items []server.Item) (int, error) {
-		return r.conns[i].InsertItems(ctx, name, items)
+	return s.mutate(groups, func(ctx context.Context, i int, items []server.Item) (int, error) {
+		return s.conns[i].InsertItems(ctx, name, items)
 	})
 }
 
@@ -420,17 +583,24 @@ func (r *Router) InsertAsync(dataset string, items []server.Item, done server.In
 		done.Deliver(0, nil)
 		return nil
 	}
-	name, err := r.Resolve(dataset)
+	s := r.acquire()
+	if s == nil {
+		return server.ErrShuttingDown
+	}
+	name, err := s.resolve(dataset)
 	if err != nil {
+		s.release()
 		return err
 	}
-	groups, err := r.split(items)
+	groups, err := s.split(items)
 	if err != nil {
+		s.release()
 		return err
 	}
 	go func() {
-		done.Deliver(r.mutate(groups, func(ctx context.Context, i int, items []server.Item) (int, error) {
-			return r.conns[i].InsertItems(ctx, name, items)
+		defer s.release()
+		done.Deliver(s.mutate(groups, func(ctx context.Context, i int, items []server.Item) (int, error) {
+			return s.conns[i].InsertItems(ctx, name, items)
 		}))
 	}()
 	return nil
@@ -441,13 +611,18 @@ func (r *Router) InsertAsync(dataset string, items []server.Item, done server.In
 // cannot be stored anywhere, so they are skipped rather than rejected —
 // deleting the absent is a no-op on a single node too.
 func (r *Router) Delete(dataset string, keys []float64) (int, error) {
-	name, err := r.Resolve(dataset)
+	s := r.acquire()
+	if s == nil {
+		return 0, server.ErrShuttingDown
+	}
+	defer s.release()
+	name, err := s.resolve(dataset)
 	if err != nil {
 		return 0, err
 	}
 	groups := make(map[int][]float64)
 	for _, k := range keys {
-		if i := r.m.Route(k); i >= 0 {
+		if i := s.m.Route(k); i >= 0 {
 			groups[i] = append(groups[i], k)
 		}
 	}
@@ -456,18 +631,18 @@ func (r *Router) Delete(dataset string, keys []float64) (int, error) {
 	removed := 0
 	var errs []error
 	for i, ks := range groups {
-		r.requests[i].Inc()
+		s.requests[i].Inc()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx, cancel := r.callCtx()
+			ctx, cancel := s.callCtx()
 			defer cancel()
-			n, err := r.conns[i].Delete(ctx, name, ks)
+			n, err := s.conns[i].Delete(ctx, name, ks)
 			mu.Lock()
 			defer mu.Unlock()
 			removed += n
 			if err != nil {
-				errs = append(errs, r.wrap(i, err))
+				errs = append(errs, s.wrap(i, err))
 			}
 		}()
 	}
@@ -477,16 +652,21 @@ func (r *Router) Delete(dataset string, keys []float64) (int, error) {
 
 // Update routes each re-weight to the partition owning its key.
 func (r *Router) Update(dataset string, items []server.Item) (int, error) {
-	name, err := r.Resolve(dataset)
+	s := r.acquire()
+	if s == nil {
+		return 0, server.ErrShuttingDown
+	}
+	defer s.release()
+	name, err := s.resolve(dataset)
 	if err != nil {
 		return 0, err
 	}
-	groups, err := r.split(items)
+	groups, err := s.split(items)
 	if err != nil {
 		return 0, err
 	}
-	return r.mutate(groups, func(ctx context.Context, i int, items []server.Item) (int, error) {
-		return r.conns[i].Update(ctx, name, items)
+	return s.mutate(groups, func(ctx context.Context, i int, items []server.Item) (int, error) {
+		return s.conns[i].Update(ctx, name, items)
 	})
 }
 
@@ -507,10 +687,15 @@ func (r *Router) Snapshot(dataset string) (server.SnapshotInfo, error) {
 // (count, mass) figures refresh, so a periodic Stats call doubles as the
 // map refresh loop.
 func (r *Router) Stats() server.Stats {
-	n := r.m.Len()
+	s := r.acquire()
+	if s == nil {
+		return server.Stats{}
+	}
+	defer s.release()
+	n := s.m.Len()
 	nodeStats := make([]*server.Stats, n)
-	_ = r.scatter(0, n-1, func(ctx context.Context, i int) error {
-		st, err := r.conns[i].Stats(ctx)
+	_ = s.scatter(0, n-1, func(ctx context.Context, i int) error {
+		st, err := s.conns[i].Stats(ctx)
 		if err != nil {
 			return err
 		}
@@ -539,7 +724,7 @@ func (r *Router) Stats() server.Stats {
 			}
 			mergeDatasetStats(dst, ds)
 		}
-		r.m.Update(i, partKeys, partMass, now)
+		s.m.Update(i, partKeys, partMass, now)
 	}
 	sort.Strings(order)
 	out := server.Stats{Datasets: make([]server.DatasetStats, 0, len(order))}
@@ -583,45 +768,61 @@ func mergeDatasetStats(dst *server.DatasetStats, ds server.DatasetStats) {
 }
 
 // AppendMetrics appends the router's Prometheus exposition: the partition
-// count, per-partition upstream request and failure counters, and the
-// last refreshed per-partition key/mass figures.
+// count, the map generation, per-partition upstream request and failure
+// counters, and the last refreshed per-partition key/mass figures.
+// Per-partition counters are scoped to the current generation; a SetMap
+// resets them like a process restart would.
 func (r *Router) AppendMetrics(dst []byte) []byte {
+	s := r.acquire()
+	if s == nil {
+		return dst
+	}
+	defer s.release()
 	b := metrics.NewBuilder(dst)
-	n := r.m.Len()
+	n := s.m.Len()
 	b.Family("irsd_cluster_partitions", "Partitions in the routing map.", "gauge")
 	b.Val("irsd_cluster_partitions", float64(n))
+	b.Family("irsd_cluster_map_epoch", "Partition-map generation (1 = boot map, +1 per applied reload).", "gauge")
+	b.Val("irsd_cluster_map_epoch", float64(s.epoch))
 	b.Family("irsd_cluster_partition_requests_total", "Upstream requests routed to each partition's node.", "counter")
 	for i := 0; i < n; i++ {
-		b.Val("irsd_cluster_partition_requests_total", float64(r.requests[i].Load()),
-			"partition", strconv.Itoa(i), "addr", r.m.At(i).Addr)
+		b.Val("irsd_cluster_partition_requests_total", float64(s.requests[i].Load()),
+			"partition", strconv.Itoa(i), "addr", s.m.At(i).Addr)
 	}
 	b.Family("irsd_cluster_partition_failures_total", "Upstream requests that found the node unreachable.", "counter")
 	for i := 0; i < n; i++ {
-		b.Val("irsd_cluster_partition_failures_total", float64(r.failures[i].Load()),
-			"partition", strconv.Itoa(i), "addr", r.m.At(i).Addr)
+		b.Val("irsd_cluster_partition_failures_total", float64(s.failures[i].Load()),
+			"partition", strconv.Itoa(i), "addr", s.m.At(i).Addr)
 	}
 	b.Family("irsd_cluster_partition_keys", "Keys per partition at the last stats refresh.", "gauge")
 	for i := 0; i < n; i++ {
-		c, _, _ := r.m.Cached(i)
+		c, _, _ := s.m.Cached(i)
 		b.Val("irsd_cluster_partition_keys", float64(c),
-			"partition", strconv.Itoa(i), "addr", r.m.At(i).Addr)
+			"partition", strconv.Itoa(i), "addr", s.m.At(i).Addr)
 	}
 	b.Family("irsd_cluster_partition_mass", "Sampling mass per partition at the last stats refresh.", "gauge")
 	for i := 0; i < n; i++ {
-		_, m, _ := r.m.Cached(i)
+		_, m, _ := s.m.Cached(i)
 		b.Val("irsd_cluster_partition_mass", m,
-			"partition", strconv.Itoa(i), "addr", r.m.At(i).Addr)
+			"partition", strconv.Itoa(i), "addr", s.m.At(i).Addr)
 	}
 	return b.Bytes()
 }
 
-// Close closes every node connection.
+// Close closes every node connection of the current generation and stops
+// the router: later requests answer ErrShuttingDown. Requests in flight
+// fail as their connections close — Close is terminal, not a drain; the
+// graceful path is the owning process draining its listeners first.
 func (r *Router) Close() error {
-	errs := make([]error, len(r.conns))
-	for i, c := range r.conns {
-		errs[i] = c.Close()
+	r.setMu.Lock()
+	defer r.setMu.Unlock()
+	s := r.cur.Swap(nil)
+	if s == nil {
+		return nil
 	}
-	return errors.Join(errs...)
+	err := s.closeConns()
+	s.release()
+	return err
 }
 
 // The router is the cluster-tier Backend — this assertion is the

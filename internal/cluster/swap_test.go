@@ -1,0 +1,250 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	irs "github.com/irsgo/irs"
+	"github.com/irsgo/irs/client"
+	"github.com/irsgo/irs/internal/cluster"
+	"github.com/irsgo/irs/server"
+)
+
+// trackedConn wraps a node connection so the test can observe when the
+// router retires it — generation teardown must Close the old conns, but
+// only after every in-flight request on that generation has finished.
+type trackedConn struct {
+	client.Conn
+	closed atomic.Bool
+}
+
+func (c *trackedConn) Close() error {
+	c.closed.Store(true)
+	return c.Conn.Close()
+}
+
+// TestSetMapHammer is the zero-drop repartition harness: clients sample
+// and mutate continuously while the partition map is swapped over and
+// over between two topologies. The contract:
+//
+//   - no request ever fails — in-flight requests finish on the map they
+//     started on, new requests route by the new map, and the handoff has
+//     no window where neither map answers;
+//   - the map epoch advances by exactly one per successful swap;
+//   - every retired generation's connections get closed once their
+//     requests drain (no connection leak across swaps);
+//   - a swap that fails validation leaves the serving map and epoch
+//     untouched.
+//
+// Run with -race: the interesting bugs are swap/request interleavings.
+func TestSetMapHammer(t *testing.T) {
+	// Three nodes, each holding the full keyset 0..199, so any range split
+	// across any subset of them serves correct answers — that freedom is
+	// what lets the topologies below disagree about ownership while the
+	// traffic stays valid throughout.
+	const nNodes = 3
+	keys := make([]float64, 200)
+	for i := range keys {
+		keys[i] = float64(i)
+	}
+	var nodeURL [nNodes]string
+	for i := 0; i < nNodes; i++ {
+		s := server.New(server.Config{})
+		u, err := irs.NewConcurrentFromSortedSeeded(keys, 4, uint64(11+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddUnweighted("d", u); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s)
+		defer ts.Close()
+		defer s.Close()
+		nodeURL[i] = ts.URL
+	}
+
+	dial := func(parts []cluster.Partition) (*cluster.Map, []client.Conn, []*trackedConn) {
+		m, err := cluster.New(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns := make([]client.Conn, len(parts))
+		tracked := make([]*trackedConn, len(parts))
+		for i, p := range parts {
+			c, err := client.Dial(p.Addr, client.EncodingJSON)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc := &trackedConn{Conn: c}
+			conns[i], tracked[i] = tc, tc
+		}
+		return m, conns, tracked
+	}
+
+	topoA := []cluster.Partition{
+		{Addr: nodeURL[0], Lo: 0, Hi: 100},
+		{Addr: nodeURL[1], Lo: 100, Hi: 200},
+	}
+	topoB := []cluster.Partition{
+		{Addr: nodeURL[1], Lo: 0, Hi: 80},
+		{Addr: nodeURL[2], Lo: 80, Hi: 150},
+		{Addr: nodeURL[0], Lo: 150, Hi: 200},
+	}
+
+	m0, conns0, _ := dial(topoA)
+	router, err := cluster.NewRouter(m0, conns0, cluster.Options{
+		Datasets: []string{"d"},
+		Seed:     7,
+		Timeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if got := router.Epoch(); got != 1 {
+		t.Fatalf("boot epoch = %d, want 1", got)
+	}
+
+	proxy := httptest.NewServer(server.NewProxy(router))
+	defer proxy.Close()
+	cl, err := client.Dial(proxy.URL, client.EncodingJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failure atomic.Pointer[string]
+	const workers = 6
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				var op string
+				switch w % 3 {
+				case 0:
+					op = "sample"
+					_, err = cl.Sample(ctx, "d", 0, 199, 4)
+				case 1:
+					op = "rangestats"
+					_, _, err = cl.RangeStats(ctx, "d", 0, 199)
+				default:
+					// Keys must stay inside the map's coverage; a delete routed
+					// by a newer map than its insert may miss (count 0) — the
+					// contract here is answered-without-error, not count.
+					op = "mutate"
+					k := float64((w*37 + i) % 200)
+					if _, err = cl.InsertKeys(ctx, "d", []float64{k}); err == nil {
+						_, err = cl.Delete(ctx, "d", []float64{k})
+					}
+				}
+				if err != nil {
+					msg := op + " failed during swap: " + err.Error()
+					failure.CompareAndSwap(nil, &msg)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Swap back and forth; collect every retired generation's conns.
+	var retired []*trackedConn
+	const swaps = 20
+	for i := 0; i < swaps; i++ {
+		parts := topoA
+		if i%2 == 0 {
+			parts = topoB
+		}
+		m, conns, tracked := dial(parts)
+		before := router.Epoch()
+		if err := router.SetMap(m, conns, nil); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+		if got := router.Epoch(); got != before+1 {
+			t.Fatalf("swap %d: epoch = %d, want %d", i, got, before+1)
+		}
+		retired = append(retired, tracked...)
+		if f := failure.Load(); f != nil {
+			t.Fatalf("swap %d: %s", i, *f)
+		}
+	}
+	// The last installed generation is still serving; everything before it
+	// must drain and close.
+	live := retired[len(retired)-len(topoA):]
+	if swaps%2 == 1 {
+		live = retired[len(retired)-len(topoB):]
+	}
+	liveSet := map[*trackedConn]bool{}
+	for _, c := range live {
+		liveSet[c] = true
+	}
+
+	// A validation failure must not disturb the serving map: conns/map
+	// length mismatch is rejected before the swap point.
+	badM, badConns, _ := dial(topoA)
+	epochBefore := router.Epoch()
+	if err := router.SetMap(badM, badConns[:1], nil); err == nil {
+		t.Fatal("SetMap with mismatched conns: want error, got nil")
+	}
+	for _, c := range badConns {
+		c.Close()
+	}
+	if got := router.Epoch(); got != epochBefore {
+		t.Fatalf("failed swap moved epoch: %d -> %d", epochBefore, got)
+	}
+	if _, err := cl.Sample(ctx, "d", 0, 199, 2); err != nil {
+		t.Fatalf("sample after rejected swap: %v", err)
+	}
+
+	close(stop)
+	wg.Wait()
+	if f := failure.Load(); f != nil {
+		t.Fatal(*f)
+	}
+
+	// With the hammer stopped, every retired generation has drained; its
+	// conns must be closed. Closing happens on the releasing request's
+	// goroutine, so allow a moment for the last stragglers.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, c := range retired {
+		if liveSet[c] {
+			if c.closed.Load() {
+				t.Error("live generation conn closed while serving")
+			}
+			continue
+		}
+		for !c.closed.Load() {
+			if time.Now().After(deadline) {
+				t.Fatal("retired generation conn never closed")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Router.Close retires the live generation too.
+	if err := router.Close(); err != nil {
+		t.Fatalf("router close: %v", err)
+	}
+	for _, c := range live {
+		if !c.closed.Load() {
+			t.Error("live conn not closed by router Close")
+		}
+	}
+	if _, err := cl.Sample(ctx, "d", 0, 199, 1); !errors.Is(err, server.ErrShuttingDown) {
+		t.Errorf("sample after router Close: err = %v, want ErrShuttingDown", err)
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/irsgo/irs/internal/shard"
+)
+
+// TestRemoveDataset pins the registry semantics of a runtime drop: the
+// name unregisters, later requests answer the typed not-found error, the
+// other datasets keep serving, and a second drop of the same name is
+// not-found too.
+func TestRemoveDataset(t *testing.T) {
+	core := newTestCore(t, Config{})
+	defer core.Close()
+
+	if got := core.Datasets(); len(got) != 2 {
+		t.Fatalf("Datasets() = %v, want 2 names", got)
+	}
+	if err := core.Remove("u", false); err != nil {
+		t.Fatalf("Remove(u): %v", err)
+	}
+	if got := core.Datasets(); len(got) != 1 || got[0] != "w" {
+		t.Fatalf("Datasets() after drop = %v, want [w]", got)
+	}
+	if _, err := core.Sample("u", 0, 10, 1); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("Sample(dropped): err = %v, want ErrUnknownDataset", err)
+	}
+	if _, err := core.Insert("u", []Item[float64]{{Key: 1, Weight: 1}}); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("Insert(dropped): err = %v, want ErrUnknownDataset", err)
+	}
+	if err := core.Remove("u", false); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("second Remove: err = %v, want ErrUnknownDataset", err)
+	}
+	if err := core.Remove("", false); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("Remove(\"\"): err = %v, want ErrUnknownDataset", err)
+	}
+	// The survivor keeps serving.
+	if _, err := core.Sample("w", 0, 99, 5); err != nil {
+		t.Errorf("Sample(survivor): %v", err)
+	}
+	// Its stats reflect the lifecycle.
+	for _, ds := range core.Stats().Datasets {
+		if ds.Name == "u" {
+			t.Errorf("dropped dataset still in stats: %+v", ds)
+		}
+		if ds.Name == "w" && ds.State != "serving" {
+			t.Errorf("survivor state = %q, want serving", ds.State)
+		}
+	}
+}
+
+// TestRemoveAfterClose: a closed core answers ErrShuttingDown, not a
+// spurious not-found.
+func TestRemoveAfterClose(t *testing.T) {
+	core := newTestCore(t, Config{})
+	if err := core.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Remove("u", false); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("Remove after Close: err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestAddAtRuntime pins that Add works after serving has started — the
+// registry is live, not boot-only — and the new dataset serves
+// immediately in the serving state.
+func TestAddAtRuntime(t *testing.T) {
+	core := newTestCore(t, Config{})
+	defer core.Close()
+
+	// Traffic is already flowing when the new dataset registers.
+	if _, err := core.Sample("u", 0, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	keys := []float64{1, 2, 3}
+	d, err := shard.NewFromSortedSeeded(keys, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Add("late", NewUnweightedDataset(d)); err != nil {
+		t.Fatalf("runtime Add: %v", err)
+	}
+	if _, err := core.Sample("late", 0, 10, 2); err != nil {
+		t.Errorf("Sample(new dataset): %v", err)
+	}
+	for _, ds := range core.Stats().Datasets {
+		if ds.Name == "late" && ds.State != "serving" {
+			t.Errorf("new dataset state = %q, want serving", ds.State)
+		}
+	}
+}
+
+// TestRemoveUnderLoad hammers one dataset with concurrent samples and
+// inserts while it is dropped. Every request must be answered — success,
+// backpressure, or the typed not-found — and never with the shutdown
+// error (the drop must remap the race to not-found: to a client, a
+// dropped dataset and a never-registered one are the same thing).
+func TestRemoveUnderLoad(t *testing.T) {
+	core := newTestCore(t, Config{})
+	defer core.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var badErr atomic.Pointer[error]
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if w%2 == 0 {
+					_, err = core.Sample("u", 0, 999, 4)
+				} else {
+					_, err = core.Insert("u", []Item[float64]{{Key: float64(i % 1000), Weight: 1}})
+				}
+				if err != nil && !errors.Is(err, ErrUnknownDataset) && !errors.Is(err, ErrOverloaded) {
+					e := err
+					badErr.Store(&e)
+					return
+				}
+			}
+		}(w)
+	}
+	if err := core.Remove("u", false); err != nil {
+		t.Fatalf("Remove under load: %v", err)
+	}
+	// After the drop completes, the error is exactly not-found.
+	if _, err := core.Sample("u", 0, 999, 1); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("post-drop Sample: err = %v, want ErrUnknownDataset", err)
+	}
+	close(stop)
+	wg.Wait()
+	if p := badErr.Load(); p != nil {
+		t.Errorf("worker saw unexpected error during drop: %v", *p)
+	}
+}

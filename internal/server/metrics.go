@@ -25,6 +25,16 @@ func (c *Core[K]) AppendMetrics(dst []byte) []byte {
 
 	b := metrics.NewBuilder(dst)
 
+	// Registry: how many datasets are open (registered and serving or
+	// draining), and each one's lifecycle state as a labelled 1-valued
+	// series — the operator-visible trace of a runtime add or drop.
+	b.Family("irsd_datasets_open", "Datasets currently registered.", "gauge")
+	b.Val("irsd_datasets_open", float64(len(states)))
+	b.Family("irsd_dataset_state", "Dataset lifecycle state (starting, serving, draining, closed); value is always 1.", "gauge")
+	for _, st := range states {
+		b.Val("irsd_dataset_state", 1, "dataset", st.name, "state", LifecycleName(st.state.Load()))
+	}
+
 	// Dataset topology.
 	b.Family("irsd_dataset_items", "Items currently stored in the dataset.", "gauge")
 	for _, st := range states {

@@ -72,7 +72,7 @@ func (c *Core[K]) Update(name string, items []Item[K]) (int, error) {
 	}
 	n, err := st.applyUpdate(items)
 	if err != nil {
-		return 0, err
+		return 0, st.dropErr(err)
 	}
 	st.counters.keysUpdated.Add(uint64(n))
 	return n, nil
@@ -123,6 +123,15 @@ func (c *Core[K]) Snapshot(name string) (SnapshotInfo, error) {
 	if st.store == nil {
 		return SnapshotInfo{}, ErrNotDurable
 	}
+	info, err := st.snapshotNow()
+	return info, st.dropErr(err)
+}
+
+// snapshotNow runs the full snapshot protocol on one durable dataset's
+// state. It is the shared body of Core.Snapshot and Remove's final
+// snapshot — the latter runs on an already-unpublished dataset, which is
+// exactly why the protocol lives on dsState rather than the registry.
+func (st *dsState[K]) snapshotNow() (SnapshotInfo, error) {
 	st.snapMu.Lock()
 	defer st.snapMu.Unlock()
 	start := time.Now()

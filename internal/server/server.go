@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/irsgo/irs/internal/persist"
@@ -124,6 +125,35 @@ type Core[K cmp.Ordered] struct {
 	closed bool
 }
 
+// Per-dataset lifecycle states, mirroring the process-level /readyz
+// machine (starting → ready → draining) one level down: a dataset is
+// starting while its state is being assembled, serving once published in
+// the registry, draining while Remove (or Close) answers its accepted
+// requests, and closed once its coalescers have stopped and its store —
+// if any — has been synced and closed.
+const (
+	DatasetStarting int32 = iota
+	DatasetServing
+	DatasetDraining
+	DatasetClosed
+)
+
+// LifecycleName renders a lifecycle state for /stats and /metrics.
+func LifecycleName(s int32) string {
+	switch s {
+	case DatasetStarting:
+		return "starting"
+	case DatasetServing:
+		return "serving"
+	case DatasetDraining:
+		return "draining"
+	case DatasetClosed:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
 // sampleArg is one sample request travelling through the coalescer: the
 // query plus the caller-provided buffer its samples are appended to (nil
 // for plain Sample calls, a reused buffer for SampleAppend callers).
@@ -140,6 +170,16 @@ type dsState[K cmp.Ordered] struct {
 	samples  *coalescer[sampleArg[K], []K]
 	inserts  *coalescer[[]Item[K], int]
 	counters counters
+
+	// state is the dataset's lifecycle state (Dataset* constants).
+	// dropped is set by Remove before draining begins: once a dataset is
+	// being dropped, requests that raced past lookup and lost — hitting a
+	// closed coalescer or a closed store — are answered ErrUnknownDataset
+	// instead of ErrShuttingDown, so after a drop the only typed answer
+	// clients ever see for that name is not_found (the core itself is not
+	// shutting down).
+	state   atomic.Int32
+	dropped atomic.Bool
 
 	// store is nil for memory-only datasets. logMu orders WAL staging
 	// with the in-memory applies they mirror (held across both), and the
@@ -185,7 +225,10 @@ func (c *Core[K]) Add(name string, ds Dataset[K]) error {
 
 // add builds the dataset's state completely — including its persistence
 // attachment — before publishing it in byName, so no request can ever
-// observe a durable dataset without its store.
+// observe a durable dataset without its store. Add is callable at any
+// time, not just boot: the registry lock orders it against concurrent
+// lookups, and the fully-built-before-published rule means a request can
+// never observe a half-registered dataset.
 func (c *Core[K]) add(name string, ds Dataset[K], store *persist.Store[K], recovered persist.RecoveryStats) error {
 	if name == "" {
 		return ErrUnknownDataset
@@ -199,6 +242,7 @@ func (c *Core[K]) add(name string, ds Dataset[K], store *persist.Store[K], recov
 		return ErrDuplicateDataset
 	}
 	st := &dsState[K]{name: name, ds: ds, store: store, recovery: recovered}
+	st.state.Store(DatasetStarting)
 	cfg := c.cfg
 	st.samples = newCoalescer[sampleArg[K], []K](cfg.QueueDepth, cfg.MaxBatch, cfg.Flushers, cfg.CoalesceWindow,
 		func() func([]request[sampleArg[K], []K]) {
@@ -211,8 +255,70 @@ func (c *Core[K]) add(name string, ds Dataset[K], store *persist.Store[K], recov
 			f := &insertFlusher[K]{st: st}
 			return f.flush
 		})
+	st.state.Store(DatasetServing)
 	c.byName[name] = st
 	return nil
+}
+
+// Remove unregisters the named dataset and tears it down while every
+// other dataset keeps serving untouched: the name is unpublished first
+// (new lookups answer ErrUnknownDataset immediately), then both
+// coalescers drain — every request accepted before the drop began is
+// answered, no ACK is lost — and finally, for durable datasets, the
+// store is synced and closed (preceded by a final compacting snapshot
+// when snapshot is true, so a later re-add recovers from a snapshot
+// instead of a long WAL replay). The dataset's directory is left on
+// disk; dropping unregisters, it does not destroy data.
+//
+// Requests that resolved the dataset just before the drop and lose the
+// race are answered ErrUnknownDataset too (see dsState.dropped), so the
+// typed error vocabulary for a dropped name is exactly not_found.
+// The empty name is not a valid drop target — Remove takes the explicit
+// name only, never the sole-dataset default.
+func (c *Core[K]) Remove(name string, snapshot bool) error {
+	if name == "" {
+		return ErrUnknownDataset
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrShuttingDown
+	}
+	st, ok := c.byName[name]
+	if !ok {
+		c.mu.Unlock()
+		return ErrUnknownDataset
+	}
+	delete(c.byName, name)
+	c.mu.Unlock()
+
+	st.dropped.Store(true)
+	st.state.Store(DatasetDraining)
+	st.samples.close()
+	st.inserts.close()
+	var errs []error
+	if st.store != nil {
+		if snapshot {
+			if _, err := st.snapshotNow(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if err := st.store.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	st.state.Store(DatasetClosed)
+	return errors.Join(errs...)
+}
+
+// dropErr rewrites the shutdown-vocabulary errors a request racing a
+// Remove can observe (closed coalescer, closed store) into the dropped
+// dataset's typed answer. Errors on live datasets pass through.
+func (st *dsState[K]) dropErr(err error) error {
+	if err != nil && st.dropped.Load() && errors.Is(err, ErrShuttingDown) {
+		return ErrUnknownDataset
+	}
+	return err
 }
 
 // lookup resolves a dataset name; the empty name resolves only when
@@ -295,7 +401,7 @@ func (c *Core[K]) SampleAppend(name string, dst []K, lo, hi K, t int) ([]K, erro
 		if errors.Is(err, ErrOverloaded) {
 			st.counters.sampleRejected.Add(1)
 		}
-		return dst, err
+		return dst, st.dropErr(err)
 	}
 	return out, nil
 }
@@ -324,7 +430,7 @@ func (c *Core[K]) SampleAppendAsync(name string, dst []K, lo, hi K, t int, done 
 	if errors.Is(err, ErrOverloaded) {
 		st.counters.sampleRejected.Add(1)
 	}
-	return err
+	return st.dropErr(err)
 }
 
 // maxRetainedScratch bounds the element capacity a flusher keeps between
@@ -405,7 +511,7 @@ func (c *Core[K]) Insert(name string, items []Item[K]) (int, error) {
 	if errors.Is(err, ErrOverloaded) {
 		st.counters.insertRejected.Add(1)
 	}
-	return n, err
+	return n, st.dropErr(err)
 }
 
 // InsertAsync is Insert without the blocking wait, under the same contract
@@ -435,7 +541,7 @@ func (c *Core[K]) InsertAsync(name string, items []Item[K], done Reply[int]) err
 	if errors.Is(err, ErrOverloaded) {
 		st.counters.insertRejected.Add(1)
 	}
-	return err
+	return st.dropErr(err)
 }
 
 // insertFlusher is one insert flush worker's private state: the reusable
@@ -490,7 +596,7 @@ func (c *Core[K]) Delete(name string, keys []K) (int, error) {
 	st.counters.deleteRequests.Add(1)
 	n, err := st.applyDelete(keys)
 	if err != nil {
-		return 0, err
+		return 0, st.dropErr(err)
 	}
 	st.counters.keysDeleted.Add(uint64(n))
 	return n, nil
@@ -616,6 +722,7 @@ func (c *Core[K]) Close() error {
 	c.mu.Unlock()
 	var errs []error
 	for _, st := range states {
+		st.state.CompareAndSwap(DatasetServing, DatasetDraining)
 		st.samples.close()
 		st.inserts.close()
 		if st.store != nil {
@@ -623,6 +730,7 @@ func (c *Core[K]) Close() error {
 				errs = append(errs, err)
 			}
 		}
+		st.state.Store(DatasetClosed)
 	}
 	return errors.Join(errs...)
 }

@@ -58,7 +58,8 @@ func (c *counters) noteInsertBatch(n int) {
 // how many backend SampleMany calls served how many client requests.
 type DatasetStats struct {
 	Name   string `json:"name"`
-	Kind   string `json:"kind"` // "unweighted" or "weighted"
+	Kind   string `json:"kind"`            // "unweighted" or "weighted"
+	State  string `json:"state,omitempty"` // lifecycle: starting, serving, draining, closed
 	Len    int    `json:"len"`
 	Shards int    `json:"shards"`
 
@@ -109,6 +110,11 @@ type ServerInfo struct {
 	Version       string  `json:"version,omitempty"`
 	GoVersion     string  `json:"go_version,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+
+	// ConfigEpoch counts the configurations this process has applied: 1
+	// after boot, +1 per successful reload. Zero means the transport layer
+	// doesn't track config generations.
+	ConfigEpoch uint64 `json:"config_epoch,omitempty"`
 }
 
 // Stats is the full serving snapshot, one entry per dataset in name order.
@@ -128,6 +134,7 @@ func (st *dsState[K]) snapshot() DatasetStats {
 	out := DatasetStats{
 		Name:   st.name,
 		Kind:   kind,
+		State:  LifecycleName(st.state.Load()),
 		Len:    topo.Len,
 		Shards: topo.Shards,
 

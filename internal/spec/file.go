@@ -1,0 +1,86 @@
+package spec
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Config-file loading: both daemons accept -config pointing at a file in
+// the exact grammar their flags speak, one spec per line (or several per
+// line, comma-separated). '#' starts a comment, blank lines are skipped,
+// and each element is classified by shape: a spec containing '@' is a
+// partition ("addr@lo:hi"), anything else a dataset
+// ("name[:weighted|:unweighted]"). One file can therefore drive irsd
+// (datasets only), irsrouter (partitions plus the dataset set), or both
+// halves of a deployment from a single source of truth.
+
+// ErrDuplicateDataset rejects a config file naming one dataset twice —
+// a reload could not decide which kind wins.
+var ErrDuplicateDataset = fmt.Errorf("spec: duplicate dataset in config")
+
+// File is one parsed config file.
+type File struct {
+	Datasets   []Dataset
+	Partitions []Partition
+}
+
+// DatasetNames returns the dataset names in file order.
+func (f File) DatasetNames() []string {
+	names := make([]string, len(f.Datasets))
+	for i, d := range f.Datasets {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Parse parses config-file text. Dataset names must be unique; an empty
+// file (nothing but comments and blank lines) parses to an empty File —
+// whether that is valid is the caller's policy (irsd rejects a config
+// with no datasets, irsrouter one with no partitions).
+func Parse(text string) (File, error) {
+	var f File
+	seen := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, elem := range strings.Split(line, ",") {
+			elem = strings.TrimSpace(elem)
+			if elem == "" {
+				continue
+			}
+			if strings.ContainsRune(elem, '@') {
+				p, err := ParsePartition(elem)
+				if err != nil {
+					return File{}, fmt.Errorf("line %d: %w", ln+1, err)
+				}
+				f.Partitions = append(f.Partitions, p)
+				continue
+			}
+			d, err := ParseDataset(elem)
+			if err != nil {
+				return File{}, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			if seen[d.Name] {
+				return File{}, fmt.Errorf("line %d: %w: %q", ln+1, ErrDuplicateDataset, d.Name)
+			}
+			seen[d.Name] = true
+			f.Datasets = append(f.Datasets, d)
+		}
+	}
+	return f, nil
+}
+
+// Load reads and parses the config file at path.
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("spec: %w", err)
+	}
+	f, err := Parse(string(data))
+	if err != nil {
+		return File{}, fmt.Errorf("spec: config %s: %w", path, err)
+	}
+	return f, nil
+}

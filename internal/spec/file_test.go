@@ -1,0 +1,127 @@
+package spec
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFile(t *testing.T) {
+	text := `
+# datasets the node serves
+events
+logs:weighted   # per-line comment
+
+# the cluster topology
+127.0.0.1:8081@-inf:0, 127.0.0.1:8082@0:+inf
+`
+	f, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDS := []Dataset{{Name: "events"}, {Name: "logs", Weighted: true}}
+	if len(f.Datasets) != len(wantDS) {
+		t.Fatalf("got %d datasets, want %d", len(f.Datasets), len(wantDS))
+	}
+	for i := range wantDS {
+		if f.Datasets[i] != wantDS[i] {
+			t.Errorf("dataset %d = %+v, want %+v", i, f.Datasets[i], wantDS[i])
+		}
+	}
+	wantP := []Partition{
+		{Addr: "127.0.0.1:8081", Lo: math.Inf(-1), Hi: 0},
+		{Addr: "127.0.0.1:8082", Lo: 0, Hi: math.Inf(1)},
+	}
+	if len(f.Partitions) != len(wantP) {
+		t.Fatalf("got %d partitions, want %d", len(f.Partitions), len(wantP))
+	}
+	for i := range wantP {
+		if f.Partitions[i] != wantP[i] {
+			t.Errorf("partition %d = %+v, want %+v", i, f.Partitions[i], wantP[i])
+		}
+	}
+	if got := f.DatasetNames(); len(got) != 2 || got[0] != "events" || got[1] != "logs" {
+		t.Errorf("DatasetNames() = %v", got)
+	}
+}
+
+func TestParseFileErrors(t *testing.T) {
+	cases := []struct {
+		text string
+		want error
+	}{
+		{"events\nevents:weighted\n", ErrDuplicateDataset},
+		{"events:treap\n", ErrBadKind},
+		{"addr@10:0\n", ErrBadRange},
+		{"@0:10\n", ErrBadPartition},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.text); !errors.Is(err, tc.want) {
+			t.Errorf("Parse(%q): got %v, want %v", tc.text, err, tc.want)
+		}
+	}
+	// An empty file is not an error at this layer; policy is the caller's.
+	f, err := Parse("# nothing\n\n")
+	if err != nil || len(f.Datasets) != 0 || len(f.Partitions) != 0 {
+		t.Errorf("empty config: got %+v, %v", f, err)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "irs.conf")
+	if err := os.WriteFile(path, []byte("events\nlogs:weighted\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Datasets) != 2 {
+		t.Fatalf("got %d datasets, want 2", len(f.Datasets))
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.conf")); err == nil {
+		t.Error("loading an absent file did not error")
+	}
+}
+
+// FuzzSpecRoundTrip pins two properties of the spec grammar: String() →
+// Parse is the identity for every representable dataset and partition
+// (including ±Inf bounds and negative ranges), and no input — however
+// malformed — makes a parser panic.
+func FuzzSpecRoundTrip(f *testing.F) {
+	f.Add("events:weighted", "127.0.0.1:8080@0:1000", 0.0, 1000.0)
+	f.Add("x", "a:1@-inf:+inf", math.Inf(-1), math.Inf(1))
+	f.Add(":bad", "no-at-sign", -5.5, -1.25)
+	f.Add("a,b\n#c", "u@ser@h:1@0:1", math.SmallestNonzeroFloat64, math.MaxFloat64)
+	f.Fuzz(func(t *testing.T, raw, praw string, lo, hi float64) {
+		// Malformed inputs must error, never panic.
+		if d, err := ParseDataset(raw); err == nil {
+			back, err := ParseDataset(d.String())
+			if err != nil || back != d {
+				t.Errorf("dataset round trip %q -> %+v -> %q -> %+v (%v)", raw, d, d.String(), back, err)
+			}
+		}
+		if p, err := ParsePartition(praw); err == nil {
+			back, err := ParsePartition(p.String())
+			if err != nil || back != p {
+				t.Errorf("partition round trip %q -> %+v -> %q -> %+v (%v)", praw, p, p.String(), back, err)
+			}
+		}
+		_, _ = Parse(raw + "\n" + praw)
+
+		// Constructed partitions with arbitrary finite-or-infinite bounds
+		// round-trip exactly when valid (Lo <= Hi, neither NaN).
+		if !math.IsNaN(lo) && !math.IsNaN(hi) && lo <= hi {
+			p := Partition{Addr: "n:1", Lo: lo, Hi: hi}
+			back, err := ParsePartition(p.String())
+			if err != nil {
+				t.Fatalf("ParsePartition(%q): %v", p.String(), err)
+			}
+			if back != p {
+				t.Errorf("bound round trip %+v -> %q -> %+v", p, p.String(), back)
+			}
+		}
+	})
+}

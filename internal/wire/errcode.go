@@ -21,6 +21,8 @@ func ErrCode(err error) (code string, status int) {
 		return "unknown_dataset", http.StatusNotFound
 	case errors.Is(err, srv.ErrAmbiguousDataset):
 		return "ambiguous_dataset", http.StatusBadRequest
+	case errors.Is(err, srv.ErrDuplicateDataset):
+		return "duplicate_dataset", http.StatusConflict
 	case errors.Is(err, srv.ErrInvalidRange):
 		return "invalid_range", http.StatusBadRequest
 	case errors.Is(err, srv.ErrInvalidCount):
@@ -52,6 +54,7 @@ func ErrCode(err error) (code string, status int) {
 var CodeToErr = map[string]error{
 	"unknown_dataset":   srv.ErrUnknownDataset,
 	"ambiguous_dataset": srv.ErrAmbiguousDataset,
+	"duplicate_dataset": srv.ErrDuplicateDataset,
 	"invalid_range":     srv.ErrInvalidRange,
 	"invalid_count":     srv.ErrInvalidCount,
 	"invalid_weight":    srv.ErrInvalidWeight,

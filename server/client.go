@@ -183,6 +183,47 @@ func (c *Client) Snapshot(ctx context.Context, dataset string) (SnapshotResponse
 	return resp, err
 }
 
+// AddDataset creates a dataset on the daemon at runtime (POST /datasets).
+// The daemon builds it through its Provisioner — same shard count, seed
+// policy, and durability as a boot-time dataset. A name already registered
+// answers ErrDuplicateDataset.
+func (c *Client) AddDataset(ctx context.Context, dataset string, weighted bool) error {
+	var resp AddDatasetResponse
+	return c.post(ctx, "/datasets", AddDatasetRequest{Dataset: dataset, Weighted: weighted}, &resp)
+}
+
+// DropDataset drains and unregisters a dataset (DELETE /datasets/{name}).
+// Requests the dataset had already accepted are answered before the drop
+// returns; snapshot asks for a final compacting snapshot before its store
+// closes (ignored for memory-only datasets). Absent names answer
+// ErrUnknownDataset.
+func (c *Client) DropDataset(ctx context.Context, dataset string, snapshot bool) error {
+	path := "/datasets/" + dataset
+	if snapshot {
+		path += "?snapshot=true"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	var resp DropDatasetResponse
+	return c.do(req, &resp)
+}
+
+// ListDatasets fetches the registry listing (GET /datasets): each
+// dataset's name, kind, lifecycle state, and durability.
+func (c *Client) ListDatasets(ctx context.Context) ([]DatasetInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/datasets", nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp ListDatasetsResponse
+	if err := c.do(req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Datasets, nil
+}
+
 // Stats fetches the serving snapshot of every dataset.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats

@@ -55,6 +55,14 @@ type observe struct {
 	reqJSON   metrics.DurationHistogram
 	reqBinary metrics.DurationHistogram
 
+	// Config-generation tracking for daemons that hot-reload: epoch counts
+	// applied configurations (1 after boot, +1 per successful reload),
+	// reloadsOK/reloadsErr count reload outcomes for the
+	// irsd_config_reloads_total{status} counter.
+	configEpoch atomic.Uint64
+	reloadsOK   atomic.Uint64
+	reloadsErr  atomic.Uint64
+
 	mu        sync.Mutex
 	appenders []MetricsAppender
 	recovery  map[string]time.Duration // dataset -> boot recovery duration
@@ -104,6 +112,25 @@ func (s *Server) RegisterMetrics(a MetricsAppender) {
 	s.obs.appenders = append(s.obs.appenders, a)
 }
 
+// NoteReload records one configuration (re)load attempt. A successful
+// apply advances the config epoch — call it once at boot so the epoch
+// starts at 1 — and a failed one only bumps the error counter: the old
+// configuration stays in force, which is exactly what the metrics should
+// say. Surfaced as irsd_config_reloads_total{status} and
+// irsd_config_epoch, and as the config_epoch field of /stats.
+func (s *Server) NoteReload(ok bool) {
+	if ok {
+		s.obs.configEpoch.Add(1)
+		s.obs.reloadsOK.Add(1)
+	} else {
+		s.obs.reloadsErr.Add(1)
+	}
+}
+
+// ConfigEpoch returns the number of configurations applied so far (0 if
+// the owning daemon never calls NoteReload).
+func (s *Server) ConfigEpoch() uint64 { return s.obs.configEpoch.Load() }
+
 // noteRecovery records how long one durable dataset's boot recovery
 // took, surfaced as irsd_recovery_duration_seconds{dataset}.
 func (s *Server) noteRecovery(name string, d time.Duration) {
@@ -121,6 +148,7 @@ func (s *Server) serverInfo() ServerInfo {
 		Version:       s.Version(),
 		GoVersion:     runtime.Version(),
 		UptimeSeconds: time.Since(s.obs.start).Seconds(),
+		ConfigEpoch:   s.obs.configEpoch.Load(),
 	}
 }
 
@@ -190,6 +218,11 @@ func (s *Server) appendOwnMetrics(dst []byte) []byte {
 		ready = 1
 	}
 	b.Val("irsd_server_ready", ready)
+	b.Family("irsd_config_epoch", "Configurations applied since boot (1 = boot config, +1 per successful reload).", "gauge")
+	b.Val("irsd_config_epoch", float64(s.obs.configEpoch.Load()))
+	b.Family("irsd_config_reloads_total", "Configuration reload attempts by outcome.", "counter")
+	b.Val("irsd_config_reloads_total", float64(s.obs.reloadsOK.Load()), "status", "ok")
+	b.Val("irsd_config_reloads_total", float64(s.obs.reloadsErr.Load()), "status", "error")
 	b.Family("irsd_http_request_duration_seconds", "HTTP data-endpoint latency by negotiated encoding.", "histogram")
 	b.Histogram("irsd_http_request_duration_seconds", s.obs.reqJSON.Snapshot(), "encoding", "json")
 	b.Histogram("irsd_http_request_duration_seconds", s.obs.reqBinary.Snapshot(), "encoding", "binary")

@@ -131,6 +131,7 @@ type Server struct {
 	backend Backend
 	mux     *http.ServeMux
 	obs     observe
+	adm     admin
 }
 
 // New returns a Server with no datasets.
@@ -163,6 +164,8 @@ func newServer(backend Backend) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/datasets/", s.handleDatasetItem)
 	return s
 }
 
@@ -239,11 +242,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.mux.ServeHTTP(w, r)
 		s.observeRequest(isBinary(r), time.Since(start))
-	case "/rangestats", "/snapshot", "/stats", "/metrics", "/healthz", "/readyz":
+	case "/rangestats", "/snapshot", "/stats", "/metrics", "/healthz", "/readyz", "/datasets":
 		s.mux.ServeHTTP(w, r)
 	default:
 		if strings.HasPrefix(r.URL.Path, "/debug/pprof") {
 			s.handlePprof(w, r)
+			return
+		}
+		if strings.HasPrefix(r.URL.Path, "/datasets/") {
+			s.mux.ServeHTTP(w, r)
 			return
 		}
 		writeError(w, http.StatusNotFound, "not_found", "no such endpoint: "+r.URL.Path)

@@ -86,6 +86,40 @@ type DeleteResponse struct {
 	Removed int    `json:"removed"`
 }
 
+// AddDatasetRequest creates a dataset at runtime (POST /datasets) through
+// the server's Provisioner.
+type AddDatasetRequest struct {
+	Dataset  string `json:"dataset"`
+	Weighted bool   `json:"weighted,omitempty"`
+}
+
+// AddDatasetResponse confirms the registration.
+type AddDatasetResponse struct {
+	Dataset string `json:"dataset"`
+	Kind    string `json:"kind"`
+}
+
+// DropDatasetResponse confirms a DELETE /datasets/{name}: the dataset has
+// been drained, its store synced and closed, and the name unregistered.
+type DropDatasetResponse struct {
+	Dataset string `json:"dataset"`
+	Dropped bool   `json:"dropped"`
+}
+
+// DatasetInfo is one GET /datasets element: the registry's view of a
+// dataset without the serving counters /stats carries.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	State   string `json:"state,omitempty"`
+	Durable bool   `json:"durable,omitempty"`
+}
+
+// ListDatasetsResponse is the GET /datasets payload.
+type ListDatasetsResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
 // ErrorResponse is the error envelope every non-2xx response carries.
 type ErrorResponse struct {
 	Error WireError `json:"error"`
